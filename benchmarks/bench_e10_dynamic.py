@@ -1,0 +1,56 @@
+"""E10 — dynamic weighted sampling: update & sample costs under churn."""
+
+import random
+
+import pytest
+
+from repro.core.alias import AliasSampler
+from repro.core.dynamic import BucketDynamicSampler, FenwickDynamicSampler
+
+N = 1 << 14
+
+
+def loaded(sampler_cls):
+    rng = random.Random(1)
+    sampler = sampler_cls(rng=2)
+    handles = [sampler.insert(i, 1.0 + rng.random() * 100) for i in range(N)]
+    return sampler, handles, rng
+
+
+@pytest.mark.parametrize("sampler_cls", [FenwickDynamicSampler, BucketDynamicSampler])
+def bench_update(benchmark, sampler_cls):
+    sampler, handles, rng = loaded(sampler_cls)
+
+    def update():
+        sampler.update_weight(handles[rng.randrange(N)], 1.0 + rng.random() * 100)
+
+    benchmark.group = "e10-update"
+    benchmark(update)
+
+
+@pytest.mark.parametrize("sampler_cls", [FenwickDynamicSampler, BucketDynamicSampler])
+def bench_sample(benchmark, sampler_cls):
+    sampler, _, _ = loaded(sampler_cls)
+    benchmark.group = "e10-sample"
+    benchmark(sampler.sample)
+
+
+@pytest.mark.parametrize("sampler_cls", [FenwickDynamicSampler, BucketDynamicSampler])
+def bench_insert_delete_cycle(benchmark, sampler_cls):
+    sampler, handles, rng = loaded(sampler_cls)
+
+    def cycle():
+        handle = sampler.insert("temp", 5.0)
+        sampler.delete(handle)
+
+    benchmark.group = "e10-insert-delete"
+    benchmark(cycle)
+
+
+def bench_static_alias_rebuild(benchmark):
+    """The baseline an update-capable structure avoids: full O(n) rebuild."""
+    rng = random.Random(3)
+    weights = [1.0 + rng.random() * 100 for _ in range(N)]
+    items = list(range(N))
+    benchmark.group = "e10-update"
+    benchmark(lambda: AliasSampler(items, weights, rng=4))

@@ -1,0 +1,55 @@
+"""E11 — Benefit 1: estimation throughput from IQS samples."""
+
+import pytest
+
+from repro.apps.estimation import estimate_fraction, required_sample_size
+from repro.core.naive import NaiveRangeSampler
+from repro.core.range_sampler import ChunkedRangeSampler
+
+N = 100_000
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return [float(i) for i in range(N)]
+
+
+@pytest.mark.parametrize("epsilon", [0.1, 0.05])
+def bench_estimate_iqs(benchmark, keys, epsilon):
+    sampler = ChunkedRangeSampler(keys, rng=1)
+    benchmark.group = f"e11-eps{epsilon}"
+    benchmark(
+        lambda: estimate_fraction(
+            lambda t: sampler.sample(1000.0, 90_000.0, t),
+            lambda value: value < 30_000.0,
+            epsilon,
+            0.01,
+        )
+    )
+
+
+@pytest.mark.parametrize("epsilon", [0.1, 0.05])
+def bench_estimate_naive(benchmark, keys, epsilon):
+    sampler = NaiveRangeSampler(keys, rng=2)
+    benchmark.group = f"e11-eps{epsilon}"
+    benchmark(
+        lambda: estimate_fraction(
+            lambda t: sampler.sample(1000.0, 90_000.0, t),
+            lambda value: value < 30_000.0,
+            epsilon,
+            0.01,
+        )
+    )
+
+
+def bench_exact_count(benchmark, keys):
+    """The alternative to estimation: walk the whole result."""
+    benchmark.group = "e11-eps0.05"
+    benchmark(
+        lambda: sum(1 for key in keys if 1000.0 <= key <= 90_000.0 and key < 30_000.0)
+    )
+
+
+def test_sample_sizes_reported():
+    assert required_sample_size(0.1, 0.01) == 265
+    assert required_sample_size(0.05, 0.01) == 1060

@@ -1,0 +1,34 @@
+"""E12 — fair near-neighbor sampling vs exact ball scans."""
+
+import pytest
+
+from repro.apps.fair_nn import FairNearNeighbor
+from repro.apps.workloads import clustered_points
+
+N = 20_000
+RADIUS = 0.05
+
+
+@pytest.fixture(scope="module")
+def fair():
+    points = clustered_points(N, 2, clusters=10, spread=0.05, rng=1)
+    index = FairNearNeighbor(points, radius=RADIUS, num_grids=2, rng=2)
+    return index, points[0]
+
+
+def bench_fair_sample(benchmark, fair):
+    index, query = fair
+    benchmark.group = "e12-near-neighbor"
+    benchmark(lambda: index.sample(query))
+
+
+def bench_exact_ball_scan(benchmark, fair):
+    index, query = fair
+    benchmark.group = "e12-near-neighbor"
+    benchmark(lambda: index.near_points(query))
+
+
+def bench_fair_sample_batch(benchmark, fair):
+    index, query = fair
+    benchmark.group = "e12-batch"
+    benchmark(lambda: index.sample_many(query, 10))

@@ -1,0 +1,44 @@
+"""E13 — integer-domain range sampling (§4.3 remark, Afshani–Wei)."""
+
+import random
+
+import pytest
+
+from repro.core.integer_range import IntegerRangeSampler
+from repro.core.range_sampler import ChunkedRangeSampler
+
+N = 1 << 15
+UNIVERSE_BITS = 30
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return sorted(random.Random(1).sample(range(1 << UNIVERSE_BITS), N))
+
+
+def bench_yfast_span(benchmark, keys):
+    sampler = IntegerRangeSampler(keys, rng=2, universe_bits=UNIVERSE_BITS)
+    x, y = keys[N // 5], keys[4 * N // 5]
+    benchmark.group = "e13-span"
+    benchmark(lambda: sampler.span_of(x, y))
+
+
+def bench_bisect_span(benchmark, keys):
+    sampler = ChunkedRangeSampler([float(k) for k in keys], rng=3)
+    x, y = float(keys[N // 5]), float(keys[4 * N // 5])
+    benchmark.group = "e13-span"
+    benchmark(lambda: sampler.span_of(x, y))
+
+
+def bench_integer_query(benchmark, keys):
+    sampler = IntegerRangeSampler(keys, rng=4, universe_bits=UNIVERSE_BITS)
+    x, y = keys[N // 5], keys[4 * N // 5]
+    benchmark.group = "e13-query"
+    benchmark(lambda: sampler.sample(x, y, 4))
+
+
+def bench_float_query(benchmark, keys):
+    sampler = ChunkedRangeSampler([float(k) for k in keys], rng=5)
+    x, y = float(keys[N // 5]), float(keys[4 * N // 5])
+    benchmark.group = "e13-query"
+    benchmark(lambda: sampler.sample(x, y, 4))

@@ -1,0 +1,63 @@
+"""E15 — Direction 4: ε-approximate sampler vs exact dynamic samplers."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.approximate import ApproximateDynamicSampler
+from repro.core.dynamic import FenwickDynamicSampler
+
+N = 1 << 14
+
+
+def loaded_weights():
+    rng = random.Random(1)
+    return [math.exp(rng.uniform(0, 8)) for _ in range(N)]
+
+
+@pytest.mark.parametrize("epsilon", [0.01, 0.3])
+def bench_approx_sample(benchmark, epsilon):
+    sampler = ApproximateDynamicSampler(epsilon=epsilon, rng=2)
+    for index, weight in enumerate(loaded_weights()):
+        sampler.insert(index, weight)
+    benchmark.group = "e15-sample"
+    benchmark(sampler.sample)
+
+
+def bench_exact_sample(benchmark):
+    sampler = FenwickDynamicSampler(rng=3, initial_capacity=N)
+    for index, weight in enumerate(loaded_weights()):
+        sampler.insert(index, weight)
+    benchmark.group = "e15-sample"
+    benchmark(sampler.sample)
+
+
+@pytest.mark.parametrize("epsilon", [0.1])
+def bench_approx_update(benchmark, epsilon):
+    rng = random.Random(4)
+    sampler = ApproximateDynamicSampler(epsilon=epsilon, rng=5)
+    handles = [sampler.insert(i, w) for i, w in enumerate(loaded_weights())]
+
+    def update():
+        position = rng.randrange(len(handles))
+        handle = handles[position]
+        handles[position] = handles[-1]
+        handles.pop()
+        item = sampler.delete(handle)
+        handles.append(sampler.insert(item, math.exp(rng.uniform(0, 8))))
+
+    benchmark.group = "e15-update"
+    benchmark(update)
+
+
+def bench_exact_update(benchmark):
+    rng = random.Random(6)
+    sampler = FenwickDynamicSampler(rng=7, initial_capacity=N)
+    handles = [sampler.insert(i, w) for i, w in enumerate(loaded_weights())]
+
+    def update():
+        sampler.update_weight(handles[rng.randrange(N)], math.exp(rng.uniform(0, 8)))
+
+    benchmark.group = "e15-update"
+    benchmark(update)

@@ -1,0 +1,60 @@
+"""E16 — dynamic weighted range sampling (treap) vs static structures."""
+
+import random
+
+import pytest
+
+from repro.core.dynamic_range import DynamicRangeSampler
+from repro.core.range_sampler import ChunkedRangeSampler
+
+N = 1 << 14
+S = 16
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = random.Random(1)
+    keys = sorted(rng.sample(range(10 * N), N))
+    weights = [1.0 + rng.random() * 9 for _ in range(N)]
+    return keys, weights
+
+
+def bench_treap_insert_delete(benchmark, dataset):
+    keys, weights = dataset
+    sampler = DynamicRangeSampler(rng=2)
+    for key, weight in zip(keys, weights):
+        sampler.insert(float(key), weight)
+    spare = iter(range(10 * N, 100 * N))
+
+    def cycle():
+        key = float(next(spare))
+        sampler.insert(key, 2.0)
+        sampler.delete(key)
+
+    benchmark.group = "e16-update"
+    benchmark(cycle)
+
+
+def bench_static_rebuild_as_update(benchmark, dataset):
+    keys, weights = dataset
+    float_keys = [float(k) for k in keys]
+    benchmark.group = "e16-update"
+    benchmark(lambda: ChunkedRangeSampler(float_keys, weights))
+
+
+def bench_treap_query(benchmark, dataset):
+    keys, weights = dataset
+    sampler = DynamicRangeSampler(rng=3)
+    for key, weight in zip(keys, weights):
+        sampler.insert(float(key), weight)
+    x, y = float(keys[N // 10]), float(keys[9 * N // 10])
+    benchmark.group = "e16-query"
+    benchmark(lambda: sampler.sample(x, y, S))
+
+
+def bench_static_query(benchmark, dataset):
+    keys, weights = dataset
+    sampler = ChunkedRangeSampler([float(k) for k in keys], weights, rng=4)
+    x, y = float(keys[N // 10]), float(keys[9 * N // 10])
+    benchmark.group = "e16-query"
+    benchmark(lambda: sampler.sample(x, y, S))

@@ -1,0 +1,34 @@
+"""E17 — halfplane IQS on convex layers vs full halfplane reporting."""
+
+import random
+
+import pytest
+
+from repro.core.coverage import CoverageSampler
+from repro.substrates.halfplane import HalfplaneIndex
+
+N = 8_000
+QUERY = (0.2, -6.0)  # y <= 0.2x - 6: the lower ~15 % of the box
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = random.Random(1)
+    points = [(rng.uniform(-10, 10), rng.uniform(-10, 10)) for _ in range(N)]
+    return HalfplaneIndex(points)
+
+
+def bench_halfplane_iqs(benchmark, index):
+    sampler = CoverageSampler(index, rng=2)
+    benchmark.group = "e17-halfplane"
+    benchmark(lambda: sampler.sample(QUERY, 16))
+
+
+def bench_halfplane_report(benchmark, index):
+    benchmark.group = "e17-halfplane"
+    benchmark(lambda: index.report(QUERY))
+
+
+def bench_cover_finding_only(benchmark, index):
+    benchmark.group = "e17-cover"
+    benchmark(lambda: index.find_cover(QUERY))

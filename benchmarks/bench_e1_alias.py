@@ -1,0 +1,27 @@
+"""E1 — Theorem 1: alias build is O(n), sampling is O(1) per draw.
+
+The `sample_1000` group should show (near-)identical timings across n —
+that flatness *is* the O(1) claim.
+"""
+
+import pytest
+
+from repro.apps.workloads import zipf_weights
+from repro.core.alias import AliasSampler
+
+SIZES = [1 << 10, 1 << 14, 1 << 18]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_build(benchmark, n):
+    weights = zipf_weights(n, rng=1)
+    items = list(range(n))
+    benchmark.group = "e1-build"
+    benchmark(lambda: AliasSampler(items, weights, rng=2))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_sample_1000(benchmark, n):
+    sampler = AliasSampler(list(range(n)), zipf_weights(n, rng=1), rng=3)
+    benchmark.group = "e1-sample-1000"
+    benchmark(lambda: sampler.sample_many(1000))

@@ -1,0 +1,31 @@
+"""E2 — tree sampling: §3.2 top-down walk vs §5 flat (DFS) sampler.
+
+The walk pays O(height) per sample, the flat sampler O(1)-amortised; the
+gap widens with s.
+"""
+
+import pytest
+
+from repro.core.tree_sampling import FlatTreeSampler, TreeSampler
+from repro.experiments.e02_tree_sampling import random_tree
+
+LEAVES = 20_000
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return random_tree(LEAVES, fanout=3, seed=7)
+
+
+@pytest.mark.parametrize("s", [1, 64, 1024])
+def bench_tree_walk(benchmark, tree, s):
+    sampler = TreeSampler(tree, rng=1)
+    benchmark.group = f"e2-s{s}"
+    benchmark(lambda: sampler.sample_many(tree.root, s))
+
+
+@pytest.mark.parametrize("s", [1, 64, 1024])
+def bench_flat(benchmark, tree, s):
+    sampler = FlatTreeSampler(tree, rng=2)
+    benchmark.group = f"e2-s{s}"
+    benchmark(lambda: sampler.sample_many(tree.root, s))

@@ -1,0 +1,58 @@
+"""E3 — the headline table: IQS range sampling vs report-then-sample
+across selectivities (Lemma 2, Theorem 3 vs §1 naive)."""
+
+import pytest
+
+from repro.apps.workloads import (
+    distinct_uniform_reals,
+    interval_with_selectivity,
+    zipf_weights,
+)
+from repro.core.naive import NaiveRangeSampler
+from repro.core.range_sampler import (
+    AliasAugmentedRangeSampler,
+    ChunkedRangeSampler,
+    TreeWalkRangeSampler,
+)
+
+N = 100_000
+S = 16
+SELECTIVITIES = [0.01, 0.1, 0.5]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    keys = distinct_uniform_reals(N, rng=1)
+    weights = zipf_weights(N, alpha=0.8, rng=2)
+    queries = {
+        selectivity: interval_with_selectivity(keys, selectivity, rng=3)
+        for selectivity in SELECTIVITIES
+    }
+    return keys, weights, queries
+
+
+SAMPLERS = {
+    "naive": NaiveRangeSampler,
+    "treewalk": TreeWalkRangeSampler,
+    "lemma2": AliasAugmentedRangeSampler,
+    "theorem3": ChunkedRangeSampler,
+}
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("name", list(SAMPLERS))
+def bench_range_query(benchmark, dataset, name, selectivity):
+    keys, weights, queries = dataset
+    sampler = SAMPLERS[name](keys, weights, rng=4)
+    x, y = queries[selectivity]
+    benchmark.group = f"e3-selectivity-{selectivity}"
+    benchmark(lambda: sampler.sample(x, y, S))
+
+
+@pytest.mark.parametrize("s", [1, 64, 1024])
+def bench_theorem3_sample_size_sweep(benchmark, dataset, s):
+    keys, weights, queries = dataset
+    sampler = ChunkedRangeSampler(keys, weights, rng=5)
+    x, y = queries[0.1]
+    benchmark.group = "e3-s-sweep"
+    benchmark(lambda: sampler.sample(x, y, s))

@@ -1,0 +1,39 @@
+"""E4 — build times behind the space table (Lemma 2's O(n log n) words
+take proportionally longer to materialise than Theorem 3's O(n))."""
+
+import pytest
+
+from repro.core.range_sampler import AliasAugmentedRangeSampler, ChunkedRangeSampler
+
+SIZES = [1 << 12, 1 << 15]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_build_lemma2(benchmark, n):
+    keys = [float(i) for i in range(n)]
+    benchmark.group = f"e4-build-n{n}"
+    benchmark(lambda: AliasAugmentedRangeSampler(keys))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_build_theorem3(benchmark, n):
+    keys = [float(i) for i in range(n)]
+    benchmark.group = f"e4-build-n{n}"
+    benchmark(lambda: ChunkedRangeSampler(keys))
+
+
+def test_space_ratio_matches_log_factor():
+    """Non-timing assertion recorded alongside the build benches."""
+    n_small, n_big = 1 << 12, 1 << 16
+    lemma2_growth = AliasAugmentedRangeSampler(
+        [float(i) for i in range(n_big)]
+    ).space_words() / (n_big) - AliasAugmentedRangeSampler(
+        [float(i) for i in range(n_small)]
+    ).space_words() / (n_small)
+    theorem3_growth = ChunkedRangeSampler(
+        [float(i) for i in range(n_big)]
+    ).space_words() / (n_big) - ChunkedRangeSampler(
+        [float(i) for i in range(n_small)]
+    ).space_words() / (n_small)
+    assert lemma2_growth > 2.0  # ~4 extra words/element per 4 doublings
+    assert abs(theorem3_growth) < 1.0

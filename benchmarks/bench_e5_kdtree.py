@@ -1,0 +1,57 @@
+"""E5 — Theorem 5 on spatial indexes: IQS query vs full reporting."""
+
+import pytest
+
+from repro.apps.workloads import uniform_points, zipf_weights
+from repro.core.coverage import CoverageSampler
+from repro.substrates.kdtree import KDTree
+from repro.substrates.quadtree import QuadTree
+
+N = 1 << 14
+S = 16
+RECT = [(0.25, 0.75), (0.25, 0.75)]
+
+
+@pytest.fixture(scope="module")
+def spatial():
+    points = uniform_points(N, 2, rng=1)
+    weights = zipf_weights(N, alpha=0.5, rng=2)
+    return points, weights
+
+
+def bench_kdtree_iqs_query(benchmark, spatial):
+    points, weights = spatial
+    sampler = CoverageSampler(KDTree(points, weights, leaf_size=8), rng=3)
+    benchmark.group = "e5-query"
+    benchmark(lambda: sampler.sample(RECT, S))
+
+
+def bench_quadtree_iqs_query(benchmark, spatial):
+    points, weights = spatial
+    sampler = CoverageSampler(QuadTree(points, weights, leaf_size=8), rng=4)
+    benchmark.group = "e5-query"
+    benchmark(lambda: sampler.sample(RECT, S))
+
+
+def bench_kdtree_full_report(benchmark, spatial):
+    points, weights = spatial
+    tree = KDTree(points, weights, leaf_size=8)
+    benchmark.group = "e5-query"
+    benchmark(lambda: tree.report(RECT))
+
+
+def bench_kdtree_alias_backend(benchmark, spatial):
+    """Ablation: Lemma-2 style per-node alias tables instead of Theorem 3."""
+    points, weights = spatial
+    sampler = CoverageSampler(KDTree(points, weights, leaf_size=8), backend="alias", rng=5)
+    benchmark.group = "e5-backend-ablation"
+    benchmark(lambda: sampler.sample(RECT, S))
+
+
+def bench_kdtree_chunked_backend(benchmark, spatial):
+    points, weights = spatial
+    sampler = CoverageSampler(
+        KDTree(points, weights, leaf_size=8), backend="chunked", rng=6
+    )
+    benchmark.group = "e5-backend-ablation"
+    benchmark(lambda: sampler.sample(RECT, S))

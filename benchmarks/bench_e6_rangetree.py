@@ -1,0 +1,53 @@
+"""E6 — Theorem 5 on the range tree vs kd-tree (space/query trade-off)."""
+
+import pytest
+
+from repro.apps.workloads import uniform_points, zipf_weights
+from repro.core.coverage import CoverageSampler
+from repro.substrates.kdtree import KDTree
+from repro.substrates.rangetree import RangeTree
+
+N = 1 << 12
+S = 16
+RECT = [(0.2, 0.8), (0.3, 0.7)]
+
+
+@pytest.fixture(scope="module")
+def spatial():
+    points = uniform_points(N, 2, rng=1)
+    weights = zipf_weights(N, alpha=0.5, rng=2)
+    return points, weights
+
+
+def bench_rangetree_build(benchmark, spatial):
+    points, weights = spatial
+    benchmark.group = "e6-build"
+    benchmark(lambda: RangeTree(points, weights))
+
+
+def bench_kdtree_build(benchmark, spatial):
+    points, weights = spatial
+    benchmark.group = "e6-build"
+    benchmark(lambda: KDTree(points, weights, leaf_size=8))
+
+
+def bench_rangetree_query(benchmark, spatial):
+    points, weights = spatial
+    sampler = CoverageSampler(RangeTree(points, weights), rng=3)
+    benchmark.group = "e6-query"
+    benchmark(lambda: sampler.sample(RECT, S))
+
+
+def bench_kdtree_query(benchmark, spatial):
+    points, weights = spatial
+    sampler = CoverageSampler(KDTree(points, weights, leaf_size=8), rng=4)
+    benchmark.group = "e6-query"
+    benchmark(lambda: sampler.sample(RECT, S))
+
+
+def bench_rangetree_3d_query(benchmark):
+    points = uniform_points(1 << 10, 3, rng=5)
+    sampler = CoverageSampler(RangeTree(points), rng=6)
+    rect = [(0.2, 0.8)] * 3
+    benchmark.group = "e6-3d"
+    benchmark(lambda: sampler.sample(rect, S))

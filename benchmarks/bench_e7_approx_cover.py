@@ -1,0 +1,47 @@
+"""E7 — Theorem 6 / Corollary 7 on range-complement queries."""
+
+import pytest
+
+from repro.core.approx_coverage import (
+    ApproxCoverSampler,
+    ComplementRangeIndex,
+    PrecomputedCoverSampler,
+)
+from repro.core.coverage import BSTIndex, CoverageSampler
+
+N = 1 << 15
+S = 16
+QUERY = (N * 0.23, N * 0.77)
+
+
+@pytest.fixture(scope="module")
+def index():
+    return ComplementRangeIndex([float(i) for i in range(N)])
+
+
+def bench_theorem6_on_the_fly(benchmark, index):
+    sampler = ApproxCoverSampler(index, rng=1)
+    benchmark.group = "e7-complement"
+    benchmark(lambda: sampler.sample(QUERY, S))
+
+
+def bench_corollary7_precomputed(benchmark, index):
+    sampler = PrecomputedCoverSampler(index, rng=2)
+    benchmark.group = "e7-complement"
+    benchmark(lambda: sampler.sample(QUERY, S))
+
+
+def bench_exact_cover_two_queries(benchmark):
+    """Baseline: answering the complement as two exact-cover range queries
+    (Theorem 5 twice) — pays two Θ(log n) covers instead of one ≤2 cover."""
+    keys = [float(i) for i in range(N)]
+    sampler = CoverageSampler(BSTIndex(keys), rng=3)
+    x, y = QUERY
+
+    def complement_via_two_ranges():
+        left = sampler.sample((float("-inf"), x - 1), S)
+        right = sampler.sample((y + 1, float("inf")), S)
+        return left, right
+
+    benchmark.group = "e7-complement"
+    benchmark(complement_via_two_ranges)

@@ -1,0 +1,41 @@
+"""E8 — Theorem 8 set-union sampling vs materialising the union."""
+
+import pytest
+
+from repro.apps.workloads import overlapping_sets
+from repro.core.naive import NaiveSetUnionSampler
+from repro.core.set_union import SetUnionSampler
+
+SET_SIZES = [500, 4000]
+G = 6
+
+
+@pytest.fixture(scope="module", params=SET_SIZES)
+def family(request):
+    set_size = request.param
+    return set_size, overlapping_sets(10, set_size, set_size * 3, rng=1)
+
+
+def bench_theorem8(benchmark, family):
+    set_size, sets = family
+    sampler = SetUnionSampler(sets, rng=2, rebuild_after=0)
+    group = list(range(G))
+    benchmark.group = f"e8-size{set_size}"
+    benchmark(lambda: sampler.sample(group))
+
+
+def bench_naive_union(benchmark, family):
+    set_size, sets = family
+    sampler = NaiveSetUnionSampler(sets, rng=3)
+    group = list(range(G))
+    benchmark.group = f"e8-size{set_size}"
+    benchmark(lambda: sampler.sample(group))
+
+
+def bench_estimate_only(benchmark, family):
+    """Ablation: the sketch-merge Û_G estimation step in isolation."""
+    set_size, sets = family
+    sampler = SetUnionSampler(sets, rng=4)
+    group = list(range(G))
+    benchmark.group = f"e8-estimate-size{set_size}"
+    benchmark(lambda: sampler.union_size_estimate(group))

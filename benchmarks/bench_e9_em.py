@@ -1,0 +1,57 @@
+"""E9 — EM set/range sampling: wall-clock companions to the I/O tables.
+
+I/O counts (the §8 currency) are produced by ``python -m repro.experiments
+e9``; these benches time the simulator-level operations so regressions in
+the EM code paths are visible too.
+"""
+
+import pytest
+
+from repro.em.array import ExternalArray
+from repro.em.em_range_sampler import EMRangeSampler
+from repro.em.model import EMMachine
+from repro.em.sample_pool import NaiveEMSetSampler, SamplePoolSetSampler
+from repro.em.sorting import external_merge_sort
+
+N = 1 << 13
+B = 64
+S = 128
+
+
+def bench_external_sort(benchmark):
+    def run():
+        machine = EMMachine(block_size=B, memory_blocks=16)
+        array = ExternalArray.from_list(machine, list(range(N, 0, -1)))
+        return external_merge_sort(machine, array)
+
+    benchmark.group = "e9-sort"
+    benchmark(run)
+
+
+def bench_pool_queries(benchmark):
+    machine = EMMachine(block_size=B, memory_blocks=16)
+    sampler = SamplePoolSetSampler(machine, list(range(N)), rng=1)
+    benchmark.group = "e9-set-sampling"
+    benchmark(lambda: sampler.query(S))
+
+
+def bench_naive_queries(benchmark):
+    machine = EMMachine(block_size=B, memory_blocks=16)
+    sampler = NaiveEMSetSampler(machine, list(range(N)), rng=2)
+    benchmark.group = "e9-set-sampling"
+    benchmark(lambda: sampler.query(S))
+
+
+def bench_em_range_query(benchmark):
+    machine = EMMachine(block_size=B, memory_blocks=16)
+    sampler = EMRangeSampler(machine, [float(i) for i in range(N)], rng=3)
+    sampler.query(0.0, float(N - 1), S)  # warm the pools
+    benchmark.group = "e9-range"
+    benchmark(lambda: sampler.query(float(N // 4), float(3 * N // 4), S))
+
+
+def bench_em_range_naive(benchmark):
+    machine = EMMachine(block_size=B, memory_blocks=16)
+    sampler = EMRangeSampler(machine, [float(i) for i in range(N)], rng=4)
+    benchmark.group = "e9-range"
+    benchmark(lambda: sampler.naive_query(float(N // 4), float(3 * N // 4), S))

@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench_eXX file regenerates the timing side of one EXPERIMENTS.md
+experiment (the shape/series side lives in ``python -m repro.experiments``).
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: independent query sampling in five minutes.
+
+Builds the Theorem-3 range sampling index (O(n) space, O(log n + s)
+queries) over a million-row synthetic "orders" table and contrasts it with
+the report-then-sample baseline and the §2 dependent sampler.
+
+Run: python examples/quickstart.py
+"""
+
+import time
+
+from repro import ChunkedRangeSampler, DependentRangeSampler, NaiveRangeSampler
+from repro.apps.workloads import distinct_uniform_reals, zipf_weights
+
+
+def main() -> None:
+    n = 200_000
+    print(f"Building indexes over {n:,} weighted keys ...")
+    keys = distinct_uniform_reals(n, lo=0.0, hi=1e6, rng=7)
+    weights = zipf_weights(n, alpha=0.8, rng=8)  # skewed row weights
+
+    iqs = ChunkedRangeSampler(keys, weights, rng=1)  # Theorem 3
+    naive = NaiveRangeSampler(keys, weights, rng=2)  # §1 baseline
+    dependent = DependentRangeSampler(keys, rng=3)  # §2 baseline
+
+    # A fat range: about half the table qualifies.
+    x, y = 2.5e5, 7.5e5
+    s = 10
+
+    print(f"\nQuery: 10 weighted samples from keys in [{x:,.0f}, {y:,.0f}]")
+    start = time.perf_counter()
+    samples = iqs.sample(x, y, s)
+    iqs_ms = (time.perf_counter() - start) * 1e3
+    print(f"  IQS (Theorem 3):        {iqs_ms:8.2f} ms  -> {samples[:4]} ...")
+
+    start = time.perf_counter()
+    naive.sample(x, y, s)
+    naive_ms = (time.perf_counter() - start) * 1e3
+    print(f"  report-then-sample:     {naive_ms:8.2f} ms  ({naive_ms / iqs_ms:.0f}x slower)")
+
+    print("\nCross-query independence (the IQS guarantee, paper eq. 1):")
+    print("  repeating the query 3 times ...")
+    for label, draw in (
+        ("IQS", lambda: iqs.sample(x, y, 3)),
+        ("dependent (§2)", lambda: dependent.sample_without_replacement(x, y, 3)),
+    ):
+        outputs = [tuple(round(v) for v in draw()) for _ in range(3)]
+        print(f"  {label:16s} {outputs}")
+    print("  -> the dependent structure returns the identical set every time;")
+    print("     the IQS structure draws fresh, independent samples.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Benefit 1 (paper §2): online selectivity estimation from IQS samples.
+
+Scenario: a relation with attributes A (indexed, range-queried) and B
+(arbitrary). An analyst wants "what fraction of tuples with A in [x, y]
+also satisfy P(B)?" — answered to ±ε with failure probability δ from
+O((1/ε²) log(1/δ)) independent samples, instead of scanning the range.
+
+The demo also reproduces the long-run argument: across many estimates an
+IQS sampler's failures concentrate near mδ, while the dependent baseline
+is all-or-nothing.
+
+Run: python examples/selectivity_estimation.py
+"""
+
+import random
+import statistics
+
+from repro import ChunkedRangeSampler, DependentRangeSampler
+from repro.apps.estimation import (
+    estimate_fraction,
+    failure_indicators,
+    required_sample_size,
+)
+
+
+def main() -> None:
+    n = 100_000
+    rng = random.Random(11)
+    # Attribute A: the sorted key; attribute B: correlated noise.
+    table = {float(a): (a / n + rng.gauss(0, 0.2)) for a in range(n)}
+    keys = sorted(table)
+
+    sampler = ChunkedRangeSampler(keys, rng=1)
+    x, y = 20_000.0, 80_000.0
+    predicate = lambda key: table[key] > 0.5  # noqa: E731
+
+    truth = sum(1 for key in keys if x <= key <= y and predicate(key)) / sum(
+        1 for key in keys if x <= key <= y
+    )
+    print(f"True fraction of P(B) within A ∈ [{x:,.0f}, {y:,.0f}]: {truth:.4f}")
+
+    for epsilon, delta in ((0.1, 0.05), (0.02, 0.01)):
+        estimate = estimate_fraction(
+            lambda t: sampler.sample(x, y, t), predicate, epsilon, delta
+        )
+        budget = required_sample_size(epsilon, delta)
+        print(
+            f"  ε={epsilon:<5} δ={delta:<5} -> estimate {estimate.value:.4f} "
+            f"(err {abs(estimate.value - truth):.4f}) from {budget:,} samples "
+            f"instead of ~60,000 scanned rows"
+        )
+
+    print("\nLong-run failure concentration (m = 120 estimates, ε = 0.08):")
+    spec = dict(
+        predicate=lambda key: key < 50_000.0,
+        true_fraction=0.5,
+        epsilon=0.08,
+        repetitions=120,
+        samples_per_estimate=64,
+    )
+    iqs_runs = []
+    dependent_runs = []
+    for trial in range(10):
+        iqs = ChunkedRangeSampler(keys, rng=100 + trial)
+        iqs_runs.append(
+            sum(failure_indicators(lambda t: iqs.sample(0.0, n - 1.0, t), **spec))
+        )
+        dep = DependentRangeSampler(keys, rng=200 + trial)
+        dependent_runs.append(
+            sum(
+                failure_indicators(
+                    lambda t: dep.sample_without_replacement(0.0, n - 1.0, t), **spec
+                )
+            )
+        )
+    print(f"  IQS        failures per run: {iqs_runs}  (stdev {statistics.pstdev(iqs_runs):.1f})")
+    print(f"  dependent  failures per run: {dependent_runs}  (stdev {statistics.pstdev(dependent_runs):.1f})")
+    print("  -> dependent runs are 0 or 120: one frozen estimate repeated m times.")
+
+
+if __name__ == "__main__":
+    main()

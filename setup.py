@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose pip/setuptools lack PEP
+660 editable-wheel support (e.g. offline machines without the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""``python -m repro`` — package info and pointers.
+
+The actual entry points are ``python -m repro.experiments`` (claim
+tables) and the pytest suites; this module prints a map.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.experiments.runner import ALL_EXPERIMENTS
+
+
+def main() -> int:
+    print(f"repro {repro.__version__} — Independent Query Sampling (Tao, PODS 2022)")
+    print()
+    print("Entry points:")
+    print("  python -m repro.experiments [--quick] [ids]   claim tables (EXPERIMENTS.md)")
+    print("  pytest tests/                                 unit/integration/property suites")
+    print("  pytest benchmarks/ --benchmark-only           pytest-benchmark timings")
+    print("  python examples/quickstart.py                 first steps")
+    print()
+    print(f"Experiments: {', '.join(ALL_EXPERIMENTS)}")
+    print(f"Public API: {len(repro.__all__)} exported names (see help(repro))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Applications built on the IQS core — the paper's three "benefits" (§2).
+
+* :mod:`repro.apps.estimation` — Benefit 1: query estimation with
+  (ε, δ) guarantees and long-run failure concentration.
+* :mod:`repro.apps.fair_nn` — Benefit 2: fair (r-near) nearest-neighbor
+  search via set-union sampling.
+* :mod:`repro.apps.diversity` — Benefit 3: representative/diverse query
+  answers by repeated independent sampling.
+* :mod:`repro.apps.workloads` — synthetic datasets and query workloads
+  shared by the examples, tests, and benchmarks.
+"""
+
+from repro.apps.diversity import coverage_over_time, min_pairwise_distance, representatives
+from repro.apps.estimation import (
+    EstimateResult,
+    estimate_fraction,
+    failure_indicators,
+    required_sample_size,
+)
+from repro.apps.fair_nn import FairNearNeighbor
+from repro.apps.table import SampledTable
+
+__all__ = [
+    "SampledTable",
+    "coverage_over_time",
+    "min_pairwise_distance",
+    "representatives",
+    "EstimateResult",
+    "estimate_fraction",
+    "failure_indicators",
+    "required_sample_size",
+    "FairNearNeighbor",
+]

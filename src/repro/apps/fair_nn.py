@@ -1,0 +1,134 @@
+"""Fair (r-near) nearest-neighbor search (paper §2 Benefit 2, §7).
+
+An *r-fair nearest neighbor* query returns a uniformly random point among
+those within distance ``r`` of the query point, independently of all past
+queries — IQS with ``s = 1`` over the r-near predicate.
+
+Implementation per the solutions the paper surveys: bucket the points into
+``L`` shifted grids (:class:`~repro.substrates.grid.ShiftedGrids`, the LSH
+stand-in), let ``G`` be the buckets intersecting the query ball, draw
+uniform independent samples of ``∪G`` with the Theorem-8 set-union
+sampler, and reject samples farther than ``r``. Acceptance is the fraction
+of ball points among the candidate cells' points, constant for
+well-spread data; a budget guards against adversarial skew.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.set_union import SetUnionSampler
+from repro.errors import BuildError, EmptyQueryError, SampleBudgetExceededError
+from repro.substrates.grid import Point, ShiftedGrids
+from repro.substrates.rng import RNGLike, ensure_rng
+from repro.validation import validate_sample_size
+
+
+def euclidean(a: Point, b: Point) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+class FairNearNeighbor:
+    """Uniform independent sampling of the points within ``r`` of a query."""
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        radius: float,
+        num_grids: int = 2,
+        cell_size: Optional[float] = None,
+        rng: RNGLike = None,
+        max_rejects_per_sample: int = 10_000,
+    ):
+        if radius <= 0:
+            raise BuildError("radius must be positive")
+        self._rng = ensure_rng(rng)
+        self.radius = radius
+        self._points = [tuple(p) for p in points]
+        self._grids = ShiftedGrids(
+            self._points,
+            cell_size=cell_size if cell_size is not None else radius,
+            num_grids=num_grids,
+            rng=self._rng,
+        )
+        self._union_sampler = SetUnionSampler(self._grids.family, rng=self._rng)
+        self._max_rejects = max_rejects_per_sample
+        self.total_rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def candidate_sets(self, query: Point) -> List[int]:
+        """The group ``G``: grid cells intersecting the query ball."""
+        return self._grids.cells_for_ball(query, self.radius)
+
+    def near_points(self, query: Point) -> List[Point]:
+        """Exact ``S_q`` by scanning candidates (testing baseline)."""
+        return [
+            point
+            for point in self._points
+            if euclidean(point, query) <= self.radius
+        ]
+
+    def sample(self, query: Point) -> Point:
+        """One uniform independent r-near neighbor of ``query``.
+
+        Raises :class:`EmptyQueryError` when no point lies within ``r``.
+        """
+        group = self.candidate_sets(query)
+        if not group:
+            raise EmptyQueryError(f"no points within {self.radius} of {query!r}")
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > self._max_rejects:
+                if not self.near_points(query):
+                    raise EmptyQueryError(
+                        f"no points within {self.radius} of {query!r}"
+                    )
+                raise SampleBudgetExceededError(
+                    "fair-NN rejection budget exhausted — candidate cells hold "
+                    "too few in-ball points for query "
+                    f"{query!r}"
+                )
+            index = self._union_sampler.sample(group)
+            point = self._points[index]
+            if euclidean(point, query) <= self.radius:
+                return point
+            self.total_rejections += 1
+
+    def sample_many(self, query: Point, s: int) -> List[Point]:
+        """``s`` independent r-fair nearest neighbors (IQS, s ≥ 1)."""
+        validate_sample_size(s)
+        return [self.sample(query) for _ in range(s)]
+
+    def sample_distinct(self, query: Point, s: int) -> List[Point]:
+        """``s`` *distinct* r-near neighbors (WoR scheme, §1).
+
+        Duplicate-rejection over :meth:`sample`; expected O(s) extra draws
+        while ``s`` is at most half the ball size. Raises
+        :class:`EmptyQueryError` if fewer than ``s`` points lie within
+        ``r``.
+        """
+        validate_sample_size(s)
+        ball_size = len(self.near_points(query))
+        if ball_size < s:
+            raise EmptyQueryError(
+                f"only {ball_size} points within {self.radius} of {query!r}, need {s}"
+            )
+        seen = set()
+        ordered: List[Point] = []
+        attempts = 0
+        budget = 64 * s + 16 * ball_size
+        while len(ordered) < s:
+            attempts += 1
+            if attempts > budget:
+                raise SampleBudgetExceededError(
+                    "distinct-neighbor rejection budget exhausted"
+                )
+            point = self.sample(query)
+            if point not in seen:
+                seen.add(point)
+                ordered.append(point)
+        return ordered

@@ -1,0 +1,127 @@
+"""Synthetic datasets and query workloads for examples, tests, benchmarks.
+
+The paper has no datasets of its own (it is a techniques paper), so every
+experiment in EXPERIMENTS.md draws on these generators: uniform/clustered
+value sets, Zipf weights (the skew that makes *weighted* sampling
+interesting), overlapping set families for §7, and selectivity-controlled
+interval workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import BuildError
+from repro.substrates.rng import RNGLike, ensure_rng
+
+Point = Tuple[float, ...]
+
+
+def distinct_uniform_reals(
+    n: int, lo: float = 0.0, hi: float = 1.0, rng: RNGLike = None
+) -> List[float]:
+    """``n`` sorted distinct uniform reals in ``[lo, hi)``."""
+    if n < 1:
+        raise BuildError("n must be >= 1")
+    generator = ensure_rng(rng)
+    values = set()
+    while len(values) < n:
+        values.add(lo + generator.random() * (hi - lo))
+    return sorted(values)
+
+
+def zipf_weights(n: int, alpha: float = 1.0, rng: RNGLike = None) -> List[float]:
+    """Zipf-distributed positive weights ``1/rank^alpha``, shuffled."""
+    if n < 1:
+        raise BuildError("n must be >= 1")
+    generator = ensure_rng(rng)
+    weights = [1.0 / (rank ** alpha) for rank in range(1, n + 1)]
+    generator.shuffle(weights)
+    return weights
+
+
+def uniform_points(
+    n: int, dims: int = 2, lo: float = 0.0, hi: float = 1.0, rng: RNGLike = None
+) -> List[Point]:
+    """``n`` uniform points in ``[lo, hi)^dims``."""
+    generator = ensure_rng(rng)
+    return [
+        tuple(lo + generator.random() * (hi - lo) for _ in range(dims))
+        for _ in range(n)
+    ]
+
+
+def clustered_points(
+    n: int,
+    dims: int = 2,
+    clusters: int = 8,
+    spread: float = 0.02,
+    rng: RNGLike = None,
+) -> List[Point]:
+    """Gaussian clusters in the unit box — the skewed spatial workload."""
+    if clusters < 1:
+        raise BuildError("clusters must be >= 1")
+    generator = ensure_rng(rng)
+    centers = [
+        tuple(generator.random() for _ in range(dims)) for _ in range(clusters)
+    ]
+    points: List[Point] = []
+    for index in range(n):
+        center = centers[index % clusters]
+        points.append(tuple(generator.gauss(c, spread) for c in center))
+    return points
+
+
+def interval_with_selectivity(
+    sorted_keys: Sequence[float], selectivity: float, rng: RNGLike = None
+) -> Tuple[float, float]:
+    """An interval covering ``≈ selectivity·n`` consecutive keys."""
+    if not 0 < selectivity <= 1:
+        raise BuildError("selectivity must be in (0, 1]")
+    generator = ensure_rng(rng)
+    n = len(sorted_keys)
+    width = max(1, int(round(selectivity * n)))
+    start = generator.randint(0, n - width)
+    return sorted_keys[start], sorted_keys[start + width - 1]
+
+
+def overlapping_sets(
+    num_sets: int,
+    set_size: int,
+    universe_size: int,
+    rng: RNGLike = None,
+) -> List[List[int]]:
+    """A family of ``num_sets`` random subsets of ``range(universe_size)``.
+
+    With ``num_sets · set_size > universe_size`` the sets overlap heavily —
+    the regime where naive "pick a set, pick a member" sampling is biased
+    and Theorem 8 earns its keep (§7).
+    """
+    if set_size > universe_size:
+        raise BuildError("set_size cannot exceed universe_size")
+    generator = ensure_rng(rng)
+    universe = list(range(universe_size))
+    family: List[List[int]] = []
+    for _ in range(num_sets):
+        family.append(generator.sample(universe, set_size))
+    return family
+
+
+def skewed_set_family(
+    num_sets: int,
+    universe_size: int,
+    alpha: float = 1.2,
+    rng: RNGLike = None,
+) -> List[List[int]]:
+    """Sets with Zipf-skewed sizes (some huge, many tiny), overlapping.
+
+    Exercises the §7 small-set path (on-the-fly sketches for sets smaller
+    than log₂ n).
+    """
+    generator = ensure_rng(rng)
+    universe = list(range(universe_size))
+    family: List[List[int]] = []
+    for rank in range(1, num_sets + 1):
+        size = max(1, int(universe_size / (rank ** alpha)))
+        family.append(generator.sample(universe, min(size, universe_size)))
+    return family

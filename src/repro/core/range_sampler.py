@@ -1,0 +1,383 @@
+"""Weighted range sampling structures (paper §3.2 and §4).
+
+Problem (§3.2): ``S`` holds ``n`` weighted reals; a query ``([x, y], s)``
+returns ``s`` independent weighted samples from ``S_q = S ∩ [x, y]``, with
+all queries' outputs mutually independent.
+
+Three structures, in increasing sophistication:
+
+===========================  ==============  ======================
+structure                    space           query time
+===========================  ==============  ======================
+:class:`TreeWalkRangeSampler`        O(n)            O((1 + s) log n)   (§3.2)
+:class:`AliasAugmentedRangeSampler`  O(n log n)      O(log n + s)       (Lemma 2)
+:class:`ChunkedRangeSampler`         O(n)            O(log n + s)       (Theorem 3)
+===========================  ==============  ======================
+
+All three share the same query API; every query's output is independent of
+all previous outputs because each draw consumes fresh randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.alias import AliasTables, alias_draw, build_alias_tables
+from repro.core.schemes import multinomial_split
+from repro.errors import BuildError, EmptyQueryError
+from repro.substrates.bst import StaticBST
+from repro.substrates.fenwick import FenwickTree
+from repro.substrates.rng import RNGLike, ensure_rng
+from repro.validation import validate_sample_size, validate_weights
+
+
+class RangeSamplerBase:
+    """Shared plumbing for samplers over a sorted weighted point set."""
+
+    def __init__(self, keys: Sequence[float], weights: Optional[Sequence[float]] = None):
+        if len(keys) == 0:
+            raise BuildError("range sampler requires at least one key")
+        for i in range(1, len(keys)):
+            if not keys[i - 1] < keys[i]:
+                raise BuildError("range sampler keys must be strictly increasing")
+        if weights is None:
+            weights = [1.0] * len(keys)
+        if len(weights) != len(keys):
+            raise BuildError(f"got {len(keys)} keys but {len(weights)} weights")
+        self.keys: List[float] = list(keys)
+        self.weights: List[float] = validate_weights(weights, context=type(self).__name__)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def span_of(self, x: float, y: float) -> Tuple[int, int]:
+        """Half-open sorted-index range of keys in ``[x, y]``."""
+        if x > y:
+            return 0, 0
+        return bisect_left(self.keys, x), bisect_right(self.keys, y)
+
+    def sample(self, x: float, y: float, s: int) -> List[float]:
+        """Draw ``s`` independent weighted samples (as key values) from
+        ``S ∩ [x, y]``.
+
+        Raises :class:`EmptyQueryError` when the interval holds no keys.
+        """
+        return [self.keys[i] for i in self.sample_indices(x, y, s)]
+
+    def sample_indices(self, x: float, y: float, s: int) -> List[int]:
+        """Like :meth:`sample` but returns sorted-order element indices."""
+        validate_sample_size(s)
+        lo, hi = self.span_of(x, y)
+        if lo >= hi:
+            raise EmptyQueryError(f"no keys in [{x}, {y}]")
+        return self.sample_span(lo, hi, s)
+
+    def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
+        """Draw ``s`` weighted samples from the index range ``[lo, hi)``.
+
+        Exposed separately because tree sampling (§5) reduces subtree
+        queries to *index-range* queries over the DFS leaf order
+        (Proposition 1), where the range is known without key search.
+        """
+        raise NotImplementedError
+
+    def sample_without_replacement(self, x: float, y: float, s: int) -> List[float]:
+        """A WoR sample of ``s`` distinct elements of ``S ∩ [x, y]`` (§1).
+
+        Uniform weights: duplicate-rejection over the WR sampler —
+        expected ``O(log n + s)`` when ``s ≤ |S_q|/2``, falling back to a
+        Floyd draw over the index span when ``s`` is a large fraction of
+        the result. Non-uniform weights: successive weighted sampling
+        (weighted draws conditioned on distinctness), the standard
+        weighted-WoR design.
+        """
+        validate_sample_size(s)
+        lo, hi = self.span_of(x, y)
+        population = hi - lo
+        if population == 0:
+            raise EmptyQueryError(f"no keys in [{x}, {y}]")
+        if s > population:
+            raise EmptyQueryError(
+                f"range holds {population} < s={s} keys (WoR needs s <= |S_q|)"
+            )
+        uniform = len(set(self.weights[lo:hi])) == 1
+        if uniform and s > population // 2:
+            from repro.core.schemes import uniform_indices_without_replacement
+
+            rng = getattr(self, "_rng", None)
+            indices = uniform_indices_without_replacement(lo, hi, s, rng=rng)
+            return [self.keys[i] for i in indices]
+        seen = set()
+        ordered: List[float] = []
+        budget = 64 * s + 16 * population
+        attempts = 0
+        while len(ordered) < s:
+            attempts += 1
+            if attempts > budget:
+                raise EmptyQueryError(
+                    "WoR rejection budget exhausted (extremely skewed weights); "
+                    "reduce s or use uniform weights"
+                )
+            (index,) = self.sample_span(lo, hi, 1)
+            if index not in seen:
+                seen.add(index)
+                ordered.append(self.keys[index])
+        return ordered
+
+    def space_words(self) -> int:
+        """Approximate structure size in machine words (for experiment E4)."""
+        raise NotImplementedError
+
+
+class TreeWalkRangeSampler(RangeSamplerBase):
+    """§3.2 structure: BST + per-node child-sampling; O(s log n) query.
+
+    For each sample: pick a canonical node weighted by ``w(u)``, then walk
+    the tree downward choosing children with probability proportional to
+    subtree weight. With binary fanout the child choice is a single biased
+    coin, which is exactly the fanout-2 alias structure of §3.2.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        weights: Optional[Sequence[float]] = None,
+        rng: RNGLike = None,
+    ):
+        super().__init__(keys, weights)
+        self._tree = StaticBST(self.keys, self.weights)
+        self._rng = ensure_rng(rng)
+
+    def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
+        validate_sample_size(s)
+        if lo >= hi:
+            raise EmptyQueryError("empty index range")
+        tree = self._tree
+        rng = self._rng
+        cover = tree.canonical_nodes_for_span(lo, hi)
+        cover_weights = [tree.node_weight(u) for u in cover]
+        prob, alias = build_alias_tables(cover_weights)
+        result: List[int] = []
+        for _ in range(s):
+            node = cover[alias_draw(prob, alias, rng)]
+            while not tree.is_leaf(node):
+                left, right = tree.children(node)
+                if rng.random() * tree.node_weight(node) < tree.node_weight(left):
+                    node = left
+                else:
+                    node = right
+            result.append(tree.leaf_span(node)[0])
+        return result
+
+    def space_words(self) -> int:
+        # 6 words per node (children, span, key, weight), 2n-1 nodes.
+        return 6 * self._tree.node_count
+
+
+class AliasAugmentedRangeSampler(RangeSamplerBase):
+    """Lemma 2 structure: alias tables at every BST node.
+
+    Space ``O(n log n)`` (each of the ``O(log n)`` levels stores ``O(n)``
+    urns); query time ``O(log n + s)``: find the canonical cover, split the
+    ``s`` draws multinomially across it (§4.1), then answer each part from
+    that node's pre-built alias structure in O(1) per sample.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        weights: Optional[Sequence[float]] = None,
+        rng: RNGLike = None,
+    ):
+        super().__init__(keys, weights)
+        self._tree = StaticBST(self.keys, self.weights)
+        self._rng = ensure_rng(rng)
+        # Per-node alias tables over the node's leaf span. Leaves are
+        # trivial (single element), so store tables for internal nodes only.
+        self._node_tables: List[Optional[AliasTables]] = [None] * self._tree.node_count
+        for node in self._tree.iter_nodes():
+            if not self._tree.is_leaf(node):
+                node_lo, node_hi = self._tree.leaf_span(node)
+                self._node_tables[node] = build_alias_tables(self.weights[node_lo:node_hi])
+
+    def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
+        validate_sample_size(s)
+        if lo >= hi:
+            raise EmptyQueryError("empty index range")
+        tree = self._tree
+        rng = self._rng
+        cover = tree.canonical_nodes_for_span(lo, hi)
+        counts = multinomial_split([tree.node_weight(u) for u in cover], s, rng)
+        result: List[int] = []
+        for node, count in zip(cover, counts):
+            if count == 0:
+                continue
+            node_lo, _ = tree.leaf_span(node)
+            tables = self._node_tables[node]
+            if tables is None:  # leaf
+                result.extend([node_lo] * count)
+            else:
+                prob, alias = tables
+                result.extend(node_lo + alias_draw(prob, alias, rng) for _ in range(count))
+        return result
+
+    def space_words(self) -> int:
+        tree_words = 6 * self._tree.node_count
+        table_words = sum(
+            2 * len(tables[0]) for tables in self._node_tables if tables is not None
+        )
+        return tree_words + table_words
+
+
+class ChunkedRangeSampler(RangeSamplerBase):
+    """Theorem 3 structure: linear space, ``O(log n + s)`` query.
+
+    The sorted keys are cut into ``g = Θ(n / log n)`` *chunks* of
+    ``Θ(log n)`` consecutive keys each (§4.2). Machinery:
+
+    * ``T_chunk`` — a Lemma-2 structure over the ``g`` chunk weights
+      (``O(g log g) = O(n)`` space) answering chunk-aligned queries;
+    * a Fenwick range-sum structure over chunk weights;
+    * one alias structure per chunk for intra-chunk sampling.
+
+    A general query ``[x, y]`` splits into the partial head chunk ``q1``,
+    the chunk-aligned middle ``q2`` and the partial tail chunk ``q3``
+    (Figure 2); the ``s`` draws are split 3 ways by exact weights, the
+    partial parts are answered by on-the-fly alias structures over at most
+    one chunk (``O(log n)`` work), and the middle by two-level sampling
+    through ``T_chunk``.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        weights: Optional[Sequence[float]] = None,
+        rng: RNGLike = None,
+        chunk_size: Optional[int] = None,
+    ):
+        super().__init__(keys, weights)
+        n = len(self.keys)
+        if chunk_size is None:
+            chunk_size = max(1, int(math.log2(n))) if n > 1 else 1
+        if chunk_size < 1:
+            raise BuildError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._chunk_size = chunk_size
+        self._rng = ensure_rng(rng)
+
+        g = (n + chunk_size - 1) // chunk_size
+        self._num_chunks = g
+        chunk_weights: List[float] = []
+        self._chunk_tables: List[AliasTables] = []
+        for c in range(g):
+            c_lo, c_hi = self._chunk_bounds(c)
+            block = self.weights[c_lo:c_hi]
+            chunk_weights.append(sum(block))
+            self._chunk_tables.append(build_alias_tables(block))
+        self._chunk_weights = chunk_weights
+        # Range-sum structure of §4.2 over chunk weights.
+        self._chunk_sums = FenwickTree(chunk_weights)
+        # T_chunk: Lemma-2 structure over the chunk-level weighted set,
+        # keyed by chunk index.
+        self._t_chunk = AliasAugmentedRangeSampler(
+            list(range(g)), chunk_weights, rng=self._rng
+        )
+
+    # ------------------------------------------------------------------
+
+    def _chunk_bounds(self, chunk: int) -> Tuple[int, int]:
+        lo = chunk * self._chunk_size
+        return lo, min(lo + self._chunk_size, len(self.keys))
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    @property
+    def num_chunks(self) -> int:
+        return self._num_chunks
+
+    def query_split(self, lo: int, hi: int) -> Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int]]:
+        """The Figure-2 decomposition of ``[lo, hi)`` into (q1, q2, q3).
+
+        ``q1``/``q3`` are half-open element-index ranges inside the partial
+        head/tail chunks; ``q2`` is a half-open *chunk*-index range. Parts
+        may be empty. Exposed for the Figure-2 reproduction test.
+        """
+        c = self._chunk_size
+        first_chunk = lo // c
+        last_chunk = (hi - 1) // c
+        head_fully = lo == first_chunk * c and self._chunk_bounds(first_chunk)[1] <= hi
+        tail_fully = hi == self._chunk_bounds(last_chunk)[1] and lo <= last_chunk * c
+
+        if first_chunk == last_chunk:
+            if head_fully and tail_fully:
+                return (lo, lo), (first_chunk, first_chunk + 1), (hi, hi)
+            return (lo, hi), (0, 0), (hi, hi)
+
+        mid_lo = first_chunk if head_fully else first_chunk + 1
+        mid_hi = last_chunk + 1 if tail_fully else last_chunk
+        q1 = (lo, lo) if head_fully else (lo, self._chunk_bounds(first_chunk)[1])
+        q3 = (hi, hi) if tail_fully else (self._chunk_bounds(last_chunk)[0], hi)
+        return q1, (mid_lo, mid_hi), q3
+
+    def _sample_partial(self, lo: int, hi: int, count: int) -> List[int]:
+        """Draw from a partial chunk via an on-the-fly alias structure."""
+        prob, alias = build_alias_tables(self.weights[lo:hi])
+        rng = self._rng
+        return [lo + alias_draw(prob, alias, rng) for _ in range(count)]
+
+    def _sample_chunk_aligned(self, chunk_lo: int, chunk_hi: int, count: int) -> List[int]:
+        """Two-level sampling over fully covered chunks (§4.2)."""
+        rng = self._rng
+        chunk_draws = self._t_chunk.sample_span(chunk_lo, chunk_hi, count)
+        per_chunk: dict = {}
+        for chunk in chunk_draws:
+            per_chunk[chunk] = per_chunk.get(chunk, 0) + 1
+        result: List[int] = []
+        for chunk, chunk_count in per_chunk.items():
+            c_lo, _ = self._chunk_bounds(chunk)
+            prob, alias = self._chunk_tables[chunk]
+            result.extend(c_lo + alias_draw(prob, alias, rng) for _ in range(chunk_count))
+        return result
+
+    def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
+        validate_sample_size(s)
+        if lo >= hi:
+            raise EmptyQueryError("empty index range")
+        (h_lo, h_hi), (m_lo, m_hi), (t_lo, t_hi) = self.query_split(lo, hi)
+
+        part_weights: List[float] = []
+        parts: List[Tuple[str, int, int]] = []
+        if h_hi > h_lo:
+            parts.append(("head", h_lo, h_hi))
+            part_weights.append(sum(self.weights[h_lo:h_hi]))
+        if m_hi > m_lo:
+            parts.append(("mid", m_lo, m_hi))
+            part_weights.append(self._chunk_sums.range_sum(m_lo, m_hi))
+        if t_hi > t_lo:
+            parts.append(("tail", t_lo, t_hi))
+            part_weights.append(sum(self.weights[t_lo:t_hi]))
+
+        if len(parts) == 1:
+            kind, p_lo, p_hi = parts[0]
+            if kind == "mid":
+                return self._sample_chunk_aligned(p_lo, p_hi, s)
+            return self._sample_partial(p_lo, p_hi, s)
+
+        counts = multinomial_split(part_weights, s, self._rng)
+        result: List[int] = []
+        for (kind, p_lo, p_hi), count in zip(parts, counts):
+            if count == 0:
+                continue
+            if kind == "mid":
+                result.extend(self._sample_chunk_aligned(p_lo, p_hi, count))
+            else:
+                result.extend(self._sample_partial(p_lo, p_hi, count))
+        return result
+
+    def space_words(self) -> int:
+        chunk_table_words = sum(2 * len(prob) for prob, _ in self._chunk_tables)
+        fenwick_words = self._num_chunks + 1
+        return chunk_table_words + fenwick_words + self._t_chunk.space_words()

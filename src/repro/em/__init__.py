@@ -1,0 +1,45 @@
+"""External-memory (EM) IQS structures on a simulated disk (paper §8).
+
+The paper's §8 moves IQS to the Aggarwal–Vitter external-memory model:
+``M`` words of memory, unbounded disk formatted into ``B``-word blocks,
+cost measured in block I/Os with CPU time free. We simulate that machine
+exactly (:mod:`repro.em.model`) — every structure here is charged real
+block transfers through an LRU memory of ``M/B`` block frames — which is
+the faithful substitute for disk hardware (DESIGN.md §4).
+
+Contents:
+
+* :class:`~repro.em.model.EMMachine` — the simulated machine with I/O
+  counters;
+* :class:`~repro.em.array.ExternalArray` — a blocked array;
+* :func:`~repro.em.sorting.external_merge_sort` — the
+  ``O((n/B) log_{M/B}(n/B))`` sort the §8 bounds are stated in;
+* :class:`~repro.em.sample_pool.SamplePoolSetSampler` — the §8
+  set-sampling upper bound (pre-drawn pool, amortised rebuild), plus the
+  naive random-access baseline;
+* :func:`~repro.em.lower_bound.set_sampling_lower_bound` — Hu et al.'s
+  ``Ω(min(s, (s/B) log_{M/B}(n/B)))`` query lower bound;
+* :class:`~repro.em.em_range_sampler.EMRangeSampler` — a B-tree with
+  per-node sample pools for WR range sampling in EM.
+"""
+
+from repro.em.array import ExternalArray
+from repro.em.btree import StaticBTree
+from repro.em.em_range_sampler import EMRangeSampler
+from repro.em.lower_bound import sort_bound_ios, set_sampling_lower_bound
+from repro.em.model import EMMachine, IOStats
+from repro.em.sample_pool import NaiveEMSetSampler, SamplePoolSetSampler
+from repro.em.sorting import external_merge_sort
+
+__all__ = [
+    "ExternalArray",
+    "StaticBTree",
+    "EMRangeSampler",
+    "sort_bound_ios",
+    "set_sampling_lower_bound",
+    "EMMachine",
+    "IOStats",
+    "NaiveEMSetSampler",
+    "SamplePoolSetSampler",
+    "external_merge_sort",
+]

@@ -1,0 +1,141 @@
+"""Blocked arrays on the simulated disk (paper §8).
+
+An :class:`ExternalArray` stores a sequence of words across ``⌈n/B⌉``
+blocks. Random access costs one I/O per cache miss; a full scan costs
+``⌈n/B⌉`` reads — the gap that makes EM set sampling interesting (§8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.em.model import EMMachine
+from repro.errors import ExternalMemoryError
+
+
+class ExternalArray:
+    """Fixed-length array of words laid out in consecutive disk blocks."""
+
+    def __init__(self, machine: EMMachine, length: int):
+        if length < 0:
+            raise ExternalMemoryError("array length must be non-negative")
+        self.machine = machine
+        self._length = length
+        block_count = (length + machine.block_size - 1) // machine.block_size
+        self._blocks = machine.allocate_blocks(max(block_count, 0))
+
+    @classmethod
+    def from_list(cls, machine: EMMachine, items: Sequence) -> "ExternalArray":
+        """Materialise ``items`` on disk with ``⌈n/B⌉`` write I/Os."""
+        array = cls(machine, len(items))
+        B = machine.block_size
+        for block_index, block_id in enumerate(array._blocks):
+            start = block_index * B
+            machine.write_block(block_id, list(items[start : start + B]))
+        return array
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def blocks(self) -> List[int]:
+        return list(self._blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    def _locate(self, index: int) -> tuple:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range [0, {self._length})")
+        B = self.machine.block_size
+        return self._blocks[index // B], index % B
+
+    def get(self, index: int):
+        """Random access (1 read I/O on a cache miss)."""
+        block_id, offset = self._locate(index)
+        return self.machine.read_block(block_id)[offset]
+
+    def set(self, index: int, value) -> None:
+        """Random write (read-modify-write through the cache)."""
+        block_id, offset = self._locate(index)
+        frame = list(self.machine.read_block(block_id))
+        while len(frame) <= offset:
+            frame.append(None)
+        frame[offset] = value
+        self.machine.write_block(block_id, frame)
+
+    def read_range(self, lo: int, hi: int) -> List:
+        """Sequential read of ``[lo, hi)`` — ``O((hi-lo)/B + 1)`` I/Os."""
+        if lo < 0 or hi > self._length or lo > hi:
+            raise IndexError(f"bad range [{lo}, {hi}) for length {self._length}")
+        out: List = []
+        B = self.machine.block_size
+        index = lo
+        while index < hi:
+            block_id = self._blocks[index // B]
+            frame = self.machine.read_block(block_id)
+            offset = index % B
+            take = min(hi - index, B - offset)
+            out.extend(frame[offset : offset + take])
+            index += take
+        return out
+
+    def scan(self) -> Iterator:
+        """Full sequential scan (``⌈n/B⌉`` reads, streaming)."""
+        B = self.machine.block_size
+        remaining = self._length
+        for block_id in self._blocks:
+            frame = self.machine.read_block(block_id)
+            take = min(remaining, B)
+            for offset in range(take):
+                yield frame[offset]
+            remaining -= take
+
+    def to_list(self) -> List:
+        return list(self.scan())
+
+    def free(self) -> None:
+        self.machine.free_blocks(self._blocks)
+        self._blocks = []
+        self._length = 0
+
+
+class ExternalWriter:
+    """Append-only builder producing an :class:`ExternalArray`-like layout.
+
+    Buffers one block in memory and writes it when full — the standard
+    streaming-output pattern used by external sorting.
+    """
+
+    def __init__(self, machine: EMMachine):
+        self.machine = machine
+        self._buffer: List = []
+        self._block_ids: List[int] = []
+        self._length = 0
+
+    def append(self, value) -> None:
+        self._buffer.append(value)
+        self._length += 1
+        if len(self._buffer) == self.machine.block_size:
+            self._flush_buffer()
+
+    def extend(self, values: Iterable) -> None:
+        for value in values:
+            self.append(value)
+
+    def _flush_buffer(self) -> None:
+        (block_id,) = self.machine.allocate_blocks(1)
+        self.machine.write_block(block_id, self._buffer)
+        self._block_ids.append(block_id)
+        self._buffer = []
+
+    def finish(self) -> ExternalArray:
+        """Seal the stream and return the resulting array."""
+        if self._buffer:
+            self._flush_buffer()
+        array = ExternalArray.__new__(ExternalArray)
+        array.machine = self.machine
+        array._length = self._length
+        array._blocks = self._block_ids
+        return array

@@ -1,0 +1,158 @@
+"""The Aggarwal–Vitter external-memory machine, simulated (paper §8).
+
+A machine has ``M`` words of memory and an unbounded disk formatted into
+blocks of ``B`` words, with ``M ≥ 2B``. An I/O transfers one block between
+disk and memory; an algorithm's cost is its I/O count (CPU time is free).
+
+The simulation keeps an LRU cache of ``M // B`` block frames: reading a
+cached block is free (it is "in memory"), a miss costs one read I/O, and
+evicting a dirty frame costs one write I/O. Structures built on
+:class:`EMMachine` therefore measure exactly what the §8 bounds talk
+about.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ExternalMemoryError
+
+
+@dataclass
+class IOStats:
+    """Running I/O counters of a machine."""
+
+    reads: int = 0
+    writes: int = 0
+    history: List[int] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def checkpoint(self) -> int:
+        """Record and return the current total (for per-phase accounting)."""
+        self.history.append(self.total)
+        return self.total
+
+    def since(self, checkpoint: int) -> int:
+        """I/Os performed since a :meth:`checkpoint` value."""
+        return self.total - checkpoint
+
+
+class EMMachine:
+    """Simulated disk + LRU memory with exact I/O accounting."""
+
+    def __init__(self, block_size: int = 64, memory_blocks: int = 8):
+        if block_size < 1:
+            raise ExternalMemoryError("block size B must be >= 1")
+        if memory_blocks < 2:
+            raise ExternalMemoryError("the model requires M >= 2B (>= 2 memory frames)")
+        self.block_size = block_size
+        self.memory_blocks = memory_blocks
+        self.stats = IOStats()
+        self._disk: Dict[int, List] = {}
+        self._next_block_id = 0
+        # LRU cache: block id -> frame contents; most-recently-used last.
+        self._cache: "OrderedDict[int, List]" = OrderedDict()
+        self._dirty: set = set()
+
+    # ------------------------------------------------------------------
+    # model parameters
+    # ------------------------------------------------------------------
+
+    @property
+    def B(self) -> int:
+        """Block size in words."""
+        return self.block_size
+
+    @property
+    def M(self) -> int:
+        """Memory size in words."""
+        return self.memory_blocks * self.block_size
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def allocate_blocks(self, count: int) -> List[int]:
+        """Reserve ``count`` fresh (zeroed) disk blocks; no I/O charged."""
+        if count < 0:
+            raise ExternalMemoryError("cannot allocate a negative block count")
+        ids = list(range(self._next_block_id, self._next_block_id + count))
+        self._next_block_id += count
+        for block_id in ids:
+            self._disk[block_id] = []
+        return ids
+
+    def free_blocks(self, block_ids: List[int]) -> None:
+        """Release blocks (no I/O; frees simulation memory)."""
+        for block_id in block_ids:
+            self._disk.pop(block_id, None)
+            self._cache.pop(block_id, None)
+            self._dirty.discard(block_id)
+
+    @property
+    def allocated_blocks(self) -> int:
+        return len(self._disk)
+
+    # ------------------------------------------------------------------
+    # block transfers
+    # ------------------------------------------------------------------
+
+    def read_block(self, block_id: int) -> List:
+        """Fetch a block into memory (1 read I/O on a cache miss)."""
+        if block_id not in self._disk:
+            raise ExternalMemoryError(f"block {block_id} was never allocated")
+        if block_id in self._cache:
+            self._cache.move_to_end(block_id)
+            return self._cache[block_id]
+        self.stats.reads += 1
+        frame = list(self._disk[block_id])
+        self._install(block_id, frame)
+        return frame
+
+    def write_block(self, block_id: int, words: List) -> None:
+        """Write ``words`` to a block (write-back through the cache)."""
+        if block_id not in self._disk:
+            raise ExternalMemoryError(f"block {block_id} was never allocated")
+        if len(words) > self.block_size:
+            raise ExternalMemoryError(
+                f"{len(words)} words exceed the block size B={self.block_size}"
+            )
+        frame = list(words)
+        if block_id in self._cache:
+            self._cache.move_to_end(block_id)
+            self._cache[block_id] = frame
+        else:
+            self._install(block_id, frame)
+        self._dirty.add(block_id)
+
+    def _install(self, block_id: int, frame: List) -> None:
+        while len(self._cache) >= self.memory_blocks:
+            victim, victim_frame = self._cache.popitem(last=False)
+            if victim in self._dirty:
+                self.stats.writes += 1
+                self._disk[victim] = victim_frame
+                self._dirty.discard(victim)
+        self._cache[block_id] = frame
+
+    def flush(self) -> None:
+        """Write every dirty frame back to disk (counting the writes)."""
+        for block_id in list(self._dirty):
+            self.stats.writes += 1
+            self._disk[block_id] = self._cache[block_id]
+        self._dirty.clear()
+
+    def drop_cache(self) -> None:
+        """Flush then empty the memory — a "cold cache" for fair measurement."""
+        self.flush()
+        self._cache.clear()
+
+    def peek_block(self, block_id: int) -> List:
+        """Inspect a block without charging I/O (testing only)."""
+        if block_id in self._cache:
+            return list(self._cache[block_id])
+        return list(self._disk[block_id])

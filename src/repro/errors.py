@@ -1,0 +1,36 @@
+"""Exception hierarchy for the IQS library.
+
+Every error raised by this package derives from :class:`IQSError` so callers
+can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class IQSError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class BuildError(IQSError):
+    """A structure could not be built from the given input."""
+
+
+class InvalidWeightError(BuildError):
+    """A sampling weight was zero, negative, NaN, or infinite."""
+
+
+class EmptyQueryError(IQSError):
+    """The query predicate selects no elements, so no sample exists."""
+
+
+class SampleBudgetExceededError(IQSError):
+    """A rejection-sampling loop exceeded its iteration budget.
+
+    This indicates that a probabilistic guarantee failed to hold (an event
+    the paper bounds to probability ``O(1/n^2)`` or similar), or that an
+    approximate-cover acceptance rate assumption was violated by the data.
+    """
+
+
+class ExternalMemoryError(IQSError):
+    """An operation violated the simulated external-memory model."""

@@ -1,0 +1,16 @@
+"""Experiment harness: regenerates every claim table in EXPERIMENTS.md.
+
+The paper is a techniques survey with no measured tables of its own, so
+each "experiment" here validates one stated theorem/bound (see DESIGN.md
+§5 for the index). Run everything with::
+
+    python -m repro.experiments            # full sweep (~ minutes)
+    python -m repro.experiments --quick    # reduced sizes (~ seconds)
+    python -m repro.experiments e3 e9      # selected experiments
+
+Output is plain text tables; EXPERIMENTS.md archives a full run.
+"""
+
+from repro.experiments.runner import ExperimentResult, ALL_EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentResult", "ALL_EXPERIMENTS", "run_experiment"]

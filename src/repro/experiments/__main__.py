@@ -1,0 +1,40 @@
+"""CLI entry point: ``python -m repro.experiments [--quick] [ids...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the EXPERIMENTS.md validation tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"experiment ids to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced problem sizes (~seconds)"
+    )
+    args = parser.parse_args(argv)
+
+    selected = [e.lower() for e in args.experiments] or ALL_EXPERIMENTS
+    for experiment_id in selected:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, quick=args.quick)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"({experiment_id} completed in {elapsed:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""E2 — §3.2 vs §5: tree-walk O(s·h) against flat O(log n + s) sampling."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.tree_sampling import FlatTreeSampler, Tree, TreeSampler
+from repro.experiments.runner import ExperimentResult, time_per_call
+
+
+def random_tree(num_leaves: int, fanout: int, seed: int) -> Tree:
+    """A random ``fanout``-ary tree with skewed leaf weights."""
+    rng = random.Random(seed)
+    tree = Tree()
+    root = tree.add_root()
+    internal = [root]
+    remaining = num_leaves
+    while remaining > 0:
+        parent = internal[rng.randrange(len(internal))]
+        if remaining > fanout and rng.random() < 0.3:
+            internal.append(tree.add_child(parent))
+        else:
+            tree.add_child(parent, weight=1.0 / (1 + rng.randrange(100)))
+            remaining -= 1
+    # Internal nodes that never received a child would be weightless
+    # leaves; give each one real leaf so finalize() accepts the tree.
+    for node in internal:
+        if tree.is_leaf(node):
+            tree.add_child(node, weight=1.0 / (1 + rng.randrange(100)))
+    tree.finalize()
+    return tree
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="e2",
+        title="Tree sampling: top-down walk vs DFS flattening (§3.2, §5)",
+        claim="walk cost grows with s*height; flat cost is log n + s (Lemma-4 shape)",
+        columns=["leaves", "s", "walk_us_per_query", "flat_us_per_query", "speedup"],
+    )
+    sizes = [2_000, 20_000] if not quick else [500, 2_000]
+    for num_leaves in sizes:
+        tree = random_tree(num_leaves, fanout=3, seed=7)
+        walker = TreeSampler(tree, rng=8)
+        flat = FlatTreeSampler(tree, rng=9)
+        for s in (1, 16, 256):
+            walk_seconds = time_per_call(lambda: walker.sample_many(tree.root, s), repeats=5)
+            flat_seconds = time_per_call(lambda: flat.sample_many(tree.root, s), repeats=5)
+            result.add_row(
+                num_leaves,
+                s,
+                walk_seconds * 1e6,
+                flat_seconds * 1e6,
+                walk_seconds / flat_seconds,
+            )
+    result.add_note("speedup should widen with s (the walk pays height per sample)")
+    return result

@@ -1,0 +1,47 @@
+"""E4 — space accounting: Lemma 2's O(n log n) vs Theorem 3's O(n)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.naive import NaiveRangeSampler
+from repro.core.range_sampler import (
+    AliasAugmentedRangeSampler,
+    ChunkedRangeSampler,
+    TreeWalkRangeSampler,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="e4",
+        title="Structure space: O(n log n) vs O(n) (Lemma 2 vs Theorem 3)",
+        claim="lemma2 words/element grows like log n; theorem3 and treewalk stay flat",
+        columns=[
+            "n",
+            "log2(n)",
+            "lemma2_words_per_elem",
+            "theorem3_words_per_elem",
+            "treewalk_words_per_elem",
+            "naive_words_per_elem",
+        ],
+    )
+    exponents = (10, 12, 14) if quick else (10, 12, 14, 16)
+    for exponent in exponents:
+        n = 1 << exponent
+        keys = [float(i) for i in range(n)]
+        lemma2 = AliasAugmentedRangeSampler(keys).space_words()
+        theorem3 = ChunkedRangeSampler(keys).space_words()
+        treewalk = TreeWalkRangeSampler(keys).space_words()
+        naive = NaiveRangeSampler(keys).space_words()
+        result.add_row(
+            n,
+            math.log2(n),
+            lemma2 / n,
+            theorem3 / n,
+            treewalk / n,
+            naive / n,
+        )
+    result.add_note("lemma2 column should track the log2(n) column up to a constant")
+    return result

@@ -1,0 +1,58 @@
+"""E5 — Theorem 5 on the kd-tree: O(n^{1-1/d} + s) multi-dim sampling."""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.workloads import uniform_points, zipf_weights
+from repro.core.coverage import CoverageSampler
+from repro.experiments.runner import ExperimentResult, time_per_call
+from repro.substrates.kdtree import KDTree
+from repro.substrates.quadtree import QuadTree
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="e5",
+        title="kd-tree IQS: cover size √n, query ≪ reporting (Theorem 5, §5)",
+        claim="cover grows ~√n (2D); IQS query beats full report+sample as |S_q| grows",
+        columns=[
+            "n",
+            "sqrt(n)",
+            "kd_cover",
+            "quad_cover",
+            "|S_q|",
+            "iqs_us",
+            "report_us",
+            "ratio",
+        ],
+    )
+    sizes = [1 << 10, 1 << 12] if quick else [1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    s = 16
+    rect = [(0.25, 0.75), (0.25, 0.75)]
+    for n in sizes:
+        points = uniform_points(n, 2, rng=1)
+        weights = zipf_weights(n, alpha=0.5, rng=2)
+        kd = KDTree(points, weights, leaf_size=8)
+        quad = QuadTree(points, weights, leaf_size=8)
+        sampler = CoverageSampler(kd, rng=3)
+        quad_sampler = CoverageSampler(quad, rng=4)
+        iqs_seconds = time_per_call(lambda: sampler.sample(rect, s), repeats=5)
+
+        def report_then_sample():
+            reported = kd.report(rect)
+            return reported[: s]
+
+        report_seconds = time_per_call(report_then_sample, repeats=3)
+        result.add_row(
+            n,
+            math.sqrt(n),
+            sampler.cover_size(rect),
+            quad_sampler.cover_size(rect),
+            sampler.result_size(rect),
+            iqs_seconds * 1e6,
+            report_seconds * 1e6,
+            report_seconds / iqs_seconds,
+        )
+    result.add_note("kd_cover / sqrt(n) should stay roughly constant across rows")
+    return result

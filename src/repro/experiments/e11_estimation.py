@@ -1,0 +1,77 @@
+"""E11 — Benefit 1: failure counts concentrate under IQS, not otherwise."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.apps.estimation import failure_indicators
+from repro.core.dependent import DependentRangeSampler
+from repro.core.range_sampler import ChunkedRangeSampler
+from repro.experiments.runner import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="e11",
+        title="Benefit 1: long-run failure concentration of estimates (§2)",
+        claim="over trials, IQS failure counts cluster near mδ with small spread; the "
+        "dependent baseline is all-or-nothing per trial (huge spread)",
+        columns=[
+            "sampler",
+            "trials",
+            "m_estimates",
+            "mean_failures",
+            "stdev_failures",
+            "min",
+            "max",
+        ],
+    )
+    n = 2000
+    keys = [float(i) for i in range(n)]
+    true_fraction = 0.5
+    epsilon = 0.08
+    per_estimate = 64
+    m = 60 if quick else 150
+    trials = 8 if quick else 15
+
+    iqs_counts = []
+    for trial in range(trials):
+        sampler = ChunkedRangeSampler(keys, rng=100 + trial)
+        failures = failure_indicators(
+            lambda count: sampler.sample(0.0, n - 1.0, count),
+            lambda value: value < n / 2,
+            true_fraction,
+            epsilon,
+            m,
+            per_estimate,
+        )
+        iqs_counts.append(sum(failures))
+
+    dependent_counts = []
+    for trial in range(trials):
+        sampler = DependentRangeSampler(keys, rng=200 + trial)
+        failures = failure_indicators(
+            lambda count: sampler.sample_without_replacement(0.0, n - 1.0, count),
+            lambda value: value < n / 2,
+            true_fraction,
+            epsilon,
+            m,
+            per_estimate,
+        )
+        dependent_counts.append(sum(failures))
+
+    for name, counts in (("IQS (Theorem 3)", iqs_counts), ("dependent (§2)", dependent_counts)):
+        result.add_row(
+            name,
+            trials,
+            m,
+            statistics.mean(counts),
+            statistics.pstdev(counts),
+            min(counts),
+            max(counts),
+        )
+    result.add_note(
+        "dependent rows show min=0/max=m behaviour (each trial repeats one frozen "
+        "estimate m times); IQS spread stays near the binomial sqrt(mδ(1-δ))"
+    )
+    return result

@@ -1,0 +1,25 @@
+"""Statistical verification helpers for the IQS guarantees.
+
+:mod:`repro.stats.tests` checks *within-query* distributions (uniform or
+weighted marginals); :mod:`repro.stats.independence` checks the defining
+*cross-query* property of IQS (eq. 1 of the paper) and flags the §2
+dependent baseline.
+"""
+
+from repro.stats.independence import (
+    lag_independence_pvalue,
+    repeat_query_distinct_fraction,
+)
+from repro.stats.tests import (
+    chi_square_weighted_pvalue,
+    chi_square_uniform_pvalue,
+    empirical_counts,
+)
+
+__all__ = [
+    "lag_independence_pvalue",
+    "repeat_query_distinct_fraction",
+    "chi_square_weighted_pvalue",
+    "chi_square_uniform_pvalue",
+    "empirical_counts",
+]

@@ -1,0 +1,68 @@
+"""Cross-query independence diagnostics (the defining IQS property, eq. 1).
+
+Two practical detectors:
+
+* :func:`repeat_query_distinct_fraction` — repeat the *same* query many
+  times with ``s = 1``; an IQS sampler keeps producing fresh draws (the
+  distinct fraction approaches the birthday-process expectation), while the
+  §2 dependent baseline returns the identical element every time.
+* :func:`lag_independence_pvalue` — chi-square independence test on the
+  contingency table of consecutive outputs ``(X_t, X_{t+1})``; under IQS
+  the pairs are independent, under the dependent baseline they are
+  perfectly correlated (p-value ≈ 0).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable, List, Sequence
+
+from repro.stats.tests import _chi_square_sf
+
+
+def repeat_query_outputs(draw: Callable[[], Hashable], repetitions: int) -> List[Hashable]:
+    """Issue the same single-sample query ``repetitions`` times."""
+    return [draw() for _ in range(repetitions)]
+
+
+def repeat_query_distinct_fraction(
+    draw: Callable[[], Hashable], repetitions: int
+) -> float:
+    """Fraction of distinct outputs across repeated identical queries.
+
+    ≈ ``(1 - (1 - 1/k)^m)·k/m``-ish for IQS over a result of size ``k``;
+    exactly ``1/m`` for the dependent baseline (all outputs identical).
+    """
+    outputs = repeat_query_outputs(draw, repetitions)
+    return len(set(outputs)) / len(outputs)
+
+
+def lag_independence_pvalue(outputs: Sequence[Hashable]) -> float:
+    """Chi-square test of independence between ``X_t`` and ``X_{t+1}``.
+
+    Builds the lag-1 contingency table and compares against the product of
+    the marginals. Small p-values reject independence. Requires at least
+    two distinct output values to be informative; returns 1.0 otherwise
+    (a constant sequence is handled by the distinct-fraction detector).
+    """
+    if len(outputs) < 3:
+        return 1.0
+    pairs = list(zip(outputs[:-1], outputs[1:]))
+    row_values = sorted(set(first for first, _ in pairs), key=repr)
+    col_values = sorted(set(second for _, second in pairs), key=repr)
+    if len(row_values) < 2 or len(col_values) < 2:
+        return 1.0
+    table = Counter(pairs)
+    total = len(pairs)
+    row_totals = Counter(first for first, _ in pairs)
+    col_totals = Counter(second for _, second in pairs)
+    statistic = 0.0
+    for row in row_values:
+        for col in col_values:
+            expected = row_totals[row] * col_totals[col] / total
+            if expected == 0:
+                continue
+            observed = table.get((row, col), 0)
+            statistic += (observed - expected) ** 2 / expected
+    dof = (len(row_values) - 1) * (len(col_values) - 1)
+    return _chi_square_sf(statistic, dof)

@@ -1,0 +1,140 @@
+"""Goodness-of-fit checks for sampler output distributions.
+
+Every sampler in this package is validated by drawing many samples under a
+fixed seed and chi-square-testing the empirical frequencies against the
+target (uniform or weight-proportional) distribution. Implemented with a
+plain chi-square tail computed via the regularised incomplete gamma
+function, so the library itself has no hard scipy dependency (tests may
+still cross-check against scipy).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple
+
+
+def empirical_counts(samples: Iterable[Hashable]) -> Dict[Hashable, int]:
+    """Frequency table of a sample stream."""
+    return dict(Counter(samples))
+
+
+def _chi_square_sf(statistic: float, dof: int) -> float:
+    """Survival function of the chi-square distribution.
+
+    ``P[X ≥ statistic]`` for ``X ~ χ²(dof)``, via the upper regularised
+    incomplete gamma function Q(dof/2, statistic/2) computed with the
+    standard series/continued-fraction split (Numerical Recipes style).
+    """
+    if statistic <= 0:
+        return 1.0
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    a = dof / 2.0
+    x = statistic / 2.0
+    if x < a + 1.0:
+        # Lower series: P(a, x), return 1 - P.
+        term = 1.0 / a
+        total = term
+        denominator = a
+        for _ in range(1000):
+            denominator += 1.0
+            term *= x / denominator
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        lower = total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+        return max(0.0, min(1.0, 1.0 - lower))
+    # Continued fraction for Q(a, x) (modified Lentz).
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 1000):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    upper = h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+    return max(0.0, min(1.0, upper))
+
+
+def chi_square_pvalue(
+    observed: Sequence[float], expected: Sequence[float]
+) -> float:
+    """p-value of Pearson's chi-square test with given expected counts."""
+    if len(observed) != len(expected):
+        raise ValueError("observed and expected must have equal length")
+    if len(observed) < 2:
+        return 1.0
+    statistic = 0.0
+    for obs, exp in zip(observed, expected):
+        if exp <= 0:
+            raise ValueError("expected counts must be positive")
+        statistic += (obs - exp) ** 2 / exp
+    return _chi_square_sf(statistic, len(observed) - 1)
+
+
+def chi_square_uniform_pvalue(samples: Sequence[Hashable], support: Sequence[Hashable]) -> float:
+    """Test that ``samples`` are uniform over ``support``."""
+    counts = Counter(samples)
+    total = len(samples)
+    expected = total / len(support)
+    observed = [counts.get(item, 0) for item in support]
+    return chi_square_pvalue(observed, [expected] * len(support))
+
+
+def chi_square_weighted_pvalue(
+    samples: Sequence[Hashable],
+    weights: Mapping[Hashable, float],
+) -> float:
+    """Test that ``samples`` follow the weight-proportional distribution."""
+    counts = Counter(samples)
+    total_weight = sum(weights.values())
+    total = len(samples)
+    observed = []
+    expected = []
+    for item, weight in weights.items():
+        observed.append(counts.get(item, 0))
+        expected.append(total * weight / total_weight)
+    return chi_square_pvalue(observed, expected)
+
+
+def merge_small_bins(
+    observed: Sequence[float], expected: Sequence[float], minimum: float = 5.0
+) -> Tuple[list, list]:
+    """Pool bins with expected count < ``minimum`` (chi-square validity)."""
+    pooled_obs: list = []
+    pooled_exp: list = []
+    bucket_obs = 0.0
+    bucket_exp = 0.0
+    for obs, exp in zip(observed, expected):
+        if exp < minimum:
+            bucket_obs += obs
+            bucket_exp += exp
+            if bucket_exp >= minimum:
+                pooled_obs.append(bucket_obs)
+                pooled_exp.append(bucket_exp)
+                bucket_obs = bucket_exp = 0.0
+        else:
+            pooled_obs.append(obs)
+            pooled_exp.append(exp)
+    if bucket_exp > 0:
+        if pooled_exp:
+            pooled_obs[-1] += bucket_obs
+            pooled_exp[-1] += bucket_exp
+        else:
+            pooled_obs.append(bucket_obs)
+            pooled_exp.append(bucket_exp)
+    return pooled_obs, pooled_exp

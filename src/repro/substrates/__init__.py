@@ -1,0 +1,40 @@
+"""Substrate data structures the IQS samplers are built on.
+
+These are classic reporting/aggregation structures — balanced BSTs with
+canonical-node decomposition, Fenwick trees, kd-trees, range trees,
+quadtrees, distinct-count sketches, and permutation utilities. None of them
+performs independent query sampling by itself; the :mod:`repro.core`
+techniques are layered on top (paper §3–§7).
+"""
+
+from repro.substrates.bst import StaticBST
+from repro.substrates.convex_layers import ConvexLayers, PolygonExtremes, convex_hull
+from repro.substrates.fenwick import FenwickTree
+from repro.substrates.halfplane import HalfplaneIndex
+from repro.substrates.grid import ShiftedGrids
+from repro.substrates.kdtree import KDTree
+from repro.substrates.minrank_tree import MinRankTree
+from repro.substrates.permutation import assign_ranks, random_permutation
+from repro.substrates.quadtree import QuadTree
+from repro.substrates.rangetree import RangeTree
+from repro.substrates.rng import ensure_rng, spawn_rng
+from repro.substrates.sketch import KMVSketch
+
+__all__ = [
+    "StaticBST",
+    "ConvexLayers",
+    "PolygonExtremes",
+    "convex_hull",
+    "HalfplaneIndex",
+    "FenwickTree",
+    "ShiftedGrids",
+    "KDTree",
+    "MinRankTree",
+    "assign_ranks",
+    "random_permutation",
+    "QuadTree",
+    "RangeTree",
+    "ensure_rng",
+    "spawn_rng",
+    "KMVSketch",
+]

@@ -1,0 +1,210 @@
+"""Static balanced binary search tree with canonical-node decomposition.
+
+This is the tree of paper §3.2, obeying the four stated conventions:
+
+* height ``O(log n)``;
+* ``n`` leaves, each storing one distinct key of ``S``;
+* every internal node has exactly two children, with all leaf keys in the
+  left subtree smaller than those in the right subtree;
+* the key of an internal node equals the smallest leaf key in its right
+  subtree.
+
+For any query interval ``q = [x, y]`` the tree yields a set ``C`` of
+``O(log n)`` *canonical nodes* whose subtrees are disjoint and whose leaf
+keys partition ``S ∩ q`` (Figure 1). Every IQS technique in §4–§6 starts
+from this decomposition.
+
+The implementation is array-based (structure-of-arrays): a node is an
+integer id indexing parallel arrays. This keeps Python overhead low enough
+for the benchmark sweeps while remaining a faithful pointer-style BST.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import BuildError
+from repro.validation import validate_weights
+
+NO_CHILD = -1
+
+
+class StaticBST:
+    """Balanced BST over sorted distinct keys, per the §3.2 conventions.
+
+    Parameters
+    ----------
+    keys:
+        Strictly increasing sequence of key values.
+    weights:
+        Optional positive weight per key (defaults to 1.0 each). Node
+        weights ``w(u)`` aggregate leaf weights bottom-up as in §3.2.
+    """
+
+    __slots__ = (
+        "keys",
+        "weights",
+        "_left",
+        "_right",
+        "_lo",
+        "_hi",
+        "_node_key",
+        "_node_weight",
+        "_leaf_node_of",
+        "root",
+    )
+
+    def __init__(self, keys: Sequence[float], weights: Optional[Sequence[float]] = None):
+        if len(keys) == 0:
+            raise BuildError("StaticBST requires at least one key")
+        for i in range(1, len(keys)):
+            if not keys[i - 1] < keys[i]:
+                raise BuildError("StaticBST keys must be strictly increasing")
+        if weights is None:
+            weights = [1.0] * len(keys)
+        if len(weights) != len(keys):
+            raise BuildError(f"got {len(keys)} keys but {len(weights)} weights")
+
+        self.keys: List[float] = list(keys)
+        self.weights: List[float] = validate_weights(weights, context="StaticBST")
+
+        n = len(keys)
+        capacity = 2 * n - 1
+        self._left = [NO_CHILD] * capacity
+        self._right = [NO_CHILD] * capacity
+        self._lo = [0] * capacity
+        self._hi = [0] * capacity
+        self._node_key = [0.0] * capacity
+        self._node_weight = [0.0] * capacity
+        self._leaf_node_of = [0] * n
+
+        next_id = [0]
+
+        def build(lo: int, hi: int) -> int:
+            node = next_id[0]
+            next_id[0] += 1
+            self._lo[node] = lo
+            self._hi[node] = hi
+            if hi - lo == 1:
+                self._node_key[node] = self.keys[lo]
+                self._node_weight[node] = self.weights[lo]
+                self._leaf_node_of[lo] = node
+                return node
+            mid = (lo + hi) // 2
+            left = build(lo, mid)
+            right = build(mid, hi)
+            self._left[node] = left
+            self._right[node] = right
+            self._node_key[node] = self.keys[mid]  # smallest key in right subtree
+            self._node_weight[node] = self._node_weight[left] + self._node_weight[right]
+            return node
+
+        self.root = build(0, n)
+
+    # ------------------------------------------------------------------
+    # basic node accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes, ``m = 2n - 1``."""
+        return 2 * len(self.keys) - 1
+
+    def is_leaf(self, node: int) -> bool:
+        return self._left[node] == NO_CHILD
+
+    def children(self, node: int) -> Tuple[int, int]:
+        """(left, right) child ids of an internal node."""
+        if self.is_leaf(node):
+            raise ValueError(f"node {node} is a leaf")
+        return self._left[node], self._right[node]
+
+    def node_key(self, node: int) -> float:
+        """Routing key: smallest leaf key in the right subtree (§3.2)."""
+        return self._node_key[node]
+
+    def node_weight(self, node: int) -> float:
+        """``w(u)``: total weight of leaf keys in the subtree of ``node``."""
+        return self._node_weight[node]
+
+    def leaf_span(self, node: int) -> Tuple[int, int]:
+        """Half-open range of sorted-key indices stored below ``node``."""
+        return self._lo[node], self._hi[node]
+
+    def subtree_size(self, node: int) -> int:
+        return self._hi[node] - self._lo[node]
+
+    def leaf_node(self, key_index: int) -> int:
+        """Node id of the leaf storing the ``key_index``-th smallest key."""
+        return self._leaf_node_of[key_index]
+
+    def height(self) -> int:
+        """Tree height (edges on the longest root-leaf path)."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if self.is_leaf(node):
+                best = max(best, depth)
+            else:
+                stack.append((self._left[node], depth + 1))
+                stack.append((self._right[node], depth + 1))
+        return best
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(range(self.node_count))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def range_leaf_indices(self, x: float, y: float) -> Tuple[int, int]:
+        """Half-open index range of keys falling in ``[x, y]``."""
+        if x > y:
+            return 0, 0
+        return bisect_left(self.keys, x), bisect_right(self.keys, y)
+
+    def canonical_nodes(self, x: float, y: float) -> List[int]:
+        """The cover ``C_q`` of ``q = [x, y]``: ``O(log n)`` disjoint nodes.
+
+        The subtrees of the returned nodes partition ``S ∩ [x, y]``
+        (Figure 1 of the paper). Returns ``[]`` for an empty range.
+        """
+        lo, hi = self.range_leaf_indices(x, y)
+        return self.canonical_nodes_for_span(lo, hi)
+
+    def canonical_nodes_for_span(self, lo: int, hi: int) -> List[int]:
+        """Canonical nodes covering the sorted-key index range ``[lo, hi)``."""
+        if lo >= hi:
+            return []
+        result: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            node_lo, node_hi = self._lo[node], self._hi[node]
+            if node_hi <= lo or hi <= node_lo:
+                continue
+            if lo <= node_lo and node_hi <= hi:
+                result.append(node)
+                continue
+            stack.append(self._right[node])
+            stack.append(self._left[node])
+        return result
+
+    def report(self, x: float, y: float) -> List[float]:
+        """Classic range reporting: all keys in ``[x, y]``, sorted."""
+        lo, hi = self.range_leaf_indices(x, y)
+        return self.keys[lo:hi]
+
+    def count(self, x: float, y: float) -> int:
+        """Number of keys in ``[x, y]`` in O(log n)."""
+        lo, hi = self.range_leaf_indices(x, y)
+        return hi - lo
+
+    def range_weight(self, x: float, y: float) -> float:
+        """Total weight of keys in ``[x, y]`` via the canonical nodes."""
+        return sum(self._node_weight[u] for u in self.canonical_nodes(x, y))

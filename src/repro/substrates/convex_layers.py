@@ -1,0 +1,191 @@
+"""Convex layers with logarithmic halfplane arc search (paper §6 remark).
+
+The §6 remark singles out halfspace reporting as the flagship use of
+approximate coverage (Afshani–Wei solved 3D halfspace IQS with shallow
+cuttings). The classical 2D counterpart is halfplane reporting on the
+*convex layers* (onion peeling) of the point set: the points below a
+query line ``y ≤ a·x + b`` form, on every convex layer, one contiguous
+cyclic arc of hull vertices, and once a layer contributes nothing, no
+deeper layer can (everything deeper lies inside that layer's hull).
+Walking layers outside-in therefore yields an **exact cover** — at most
+two index spans per touched layer — that plugs straight into Theorem 5's
+:class:`~repro.core.coverage.CoverageSampler`, giving halfplane IQS in
+``O((1 + t)·log n + s)`` time, where ``t`` is the number of touched
+layers. (DESIGN.md §4 records this 2D structure as the substitution for
+the 3D shallow-cutting machinery.)
+
+Per-layer arc location runs in ``O(log m)``: a linear function over the
+vertices of a strictly convex polygon in ccw order is cyclically
+unimodal, so the minimising vertex is found by a convex-polygon extreme
+search and the two sign boundaries by binary searches along the monotone
+stretches toward the maximising vertex.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import BuildError
+from repro.validation import validate_weights
+
+Point2 = Tuple[float, float]
+Span = Tuple[int, int]
+
+
+def _cross(o: Point2, a: Point2, b: Point2) -> float:
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: Sequence[Point2]) -> List[Point2]:
+    """Strictly convex hull in ccw order (collinear boundary points
+    excluded — they stay for deeper layers), via Andrew's monotone chain.
+    """
+    distinct = sorted(set(points))
+    if len(distinct) <= 2:
+        return distinct
+    lower: List[Point2] = []
+    for point in distinct:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], point) <= 0:
+            lower.pop()
+        lower.append(point)
+    upper: List[Point2] = []
+    for point in reversed(distinct):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], point) <= 0:
+            upper.pop()
+        upper.append(point)
+    return lower[:-1] + upper[:-1]
+
+
+class PolygonExtremes:
+    """O(log m) extreme-vertex queries on a strictly convex ccw polygon.
+
+    Precomputes the (unwrapped, strictly increasing) direction angles of
+    the polygon's edges; the vertex maximising ``dot(v, d)`` is the head
+    of the first edge whose angle passes ``angle(d) + π/2`` in cyclic
+    order, found by one bisect.
+    """
+
+    __slots__ = ("hull", "_angles", "_base")
+
+    def __init__(self, hull: Sequence[Point2]):
+        self.hull = list(hull)
+        m = len(self.hull)
+        angles: List[float] = []
+        if m >= 2:
+            import math
+
+            previous = None
+            unwrap = 0.0
+            for index in range(m):
+                a = self.hull[index]
+                b = self.hull[(index + 1) % m]
+                angle = math.atan2(b[1] - a[1], b[0] - a[0])
+                if previous is not None and angle + unwrap <= previous:
+                    unwrap += 2 * math.pi
+                angle += unwrap
+                angles.append(angle)
+                previous = angle
+        self._angles = angles
+        self._base = angles[0] if angles else 0.0
+
+    def argmax(self, direction: Point2) -> int:
+        """Index of the vertex maximising ``dot(v, direction)``."""
+        import math
+        from bisect import bisect_left
+
+        m = len(self.hull)
+        if m == 1:
+            return 0
+        if m == 2:
+            d0 = self.hull[0][0] * direction[0] + self.hull[0][1] * direction[1]
+            d1 = self.hull[1][0] * direction[0] + self.hull[1][1] * direction[1]
+            return 0 if d0 >= d1 else 1
+        # dot(e, direction) changes sign from + to − when angle(e) passes
+        # angle(direction) + π/2.
+        threshold = math.atan2(direction[1], direction[0]) + math.pi / 2
+        two_pi = 2 * math.pi
+        while threshold < self._base:
+            threshold += two_pi
+        while threshold >= self._base + two_pi:
+            threshold -= two_pi
+        index = bisect_left(self._angles, threshold)
+        return index % m
+
+    def argmin(self, direction: Point2) -> int:
+        return self.argmax((-direction[0], -direction[1]))
+
+
+def extreme_vertex_index(hull: Sequence[Point2], direction: Point2) -> int:
+    """One-shot extreme vertex (builds the angle table; prefer
+    :class:`PolygonExtremes` for repeated queries on the same hull)."""
+    return PolygonExtremes(hull).argmax(direction)
+
+
+class ConvexLayers:
+    """Onion peeling of a 2D point set, with duplicate-aware layers.
+
+    ``layers[i]`` lists *positions into the flat leaf arrays*; the flat
+    arrays hold every input point exactly once, grouped layer by layer in
+    ccw hull order (duplicated coordinates sit consecutively at their
+    hull vertex's slot).
+    """
+
+    def __init__(self, points: Sequence[Point2], weights: Optional[Sequence[float]] = None):
+        if len(points) == 0:
+            raise BuildError("ConvexLayers requires at least one point")
+        if any(len(p) != 2 for p in points):
+            raise BuildError("ConvexLayers points must be 2-dimensional")
+        if weights is None:
+            weights = [1.0] * len(points)
+        if len(weights) != len(points):
+            raise BuildError(f"got {len(points)} points but {len(weights)} weights")
+        cleaned = validate_weights(weights, context="ConvexLayers")
+
+        # Group duplicates: coordinate -> list of original indices.
+        by_coordinate: dict = {}
+        for index, point in enumerate(points):
+            by_coordinate.setdefault(tuple(point), []).append(index)
+
+        self._leaf_points: List[Point2] = []
+        self._leaf_weights: List[float] = []
+        self._original_index: List[int] = []
+        # Per layer: hull vertex coordinates (ccw) and, parallel to it,
+        # the (start, stop) slice of the flat arrays for each vertex group.
+        self.layer_vertices: List[List[Point2]] = []
+        self.layer_vertex_spans: List[List[Span]] = []
+        self.layer_bounds: List[Span] = []  # flat-array span of each layer
+
+        remaining = set(by_coordinate)
+        while remaining:
+            hull = convex_hull(list(remaining))
+            layer_start = len(self._leaf_points)
+            vertex_spans: List[Span] = []
+            for vertex in hull:
+                group_start = len(self._leaf_points)
+                for original in by_coordinate[vertex]:
+                    self._leaf_points.append(vertex)
+                    self._leaf_weights.append(cleaned[original])
+                    self._original_index.append(original)
+                vertex_spans.append((group_start, len(self._leaf_points)))
+                remaining.discard(vertex)
+            self.layer_vertices.append(list(hull))
+            self.layer_vertex_spans.append(vertex_spans)
+            self.layer_bounds.append((layer_start, len(self._leaf_points)))
+
+    def __len__(self) -> int:
+        return len(self._leaf_points)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_vertices)
+
+    @property
+    def leaf_items(self) -> Sequence[Point2]:
+        return self._leaf_points
+
+    @property
+    def leaf_weights(self) -> Sequence[float]:
+        return self._leaf_weights
+
+    def original_index(self, leaf_position: int) -> int:
+        return self._original_index[leaf_position]

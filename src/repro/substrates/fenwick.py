@@ -1,0 +1,105 @@
+"""Fenwick (binary indexed) tree — the range-sum structure of §4.2.
+
+The chunked range sampler (Theorem 3) needs ``sum(w(I_a..I_b))`` in
+``O(log n)`` time; the paper suggests "a slightly augmented BST". A Fenwick
+tree is the standard compact realisation: ``O(n)`` space, ``O(log n)``
+point update and prefix sum. The same structure doubles as the backbone of
+the ``O(log n)``-update dynamic sampler (Direction 1) via
+:meth:`find_prefix`, which locates the slot owning a given cumulative-weight
+offset.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class FenwickTree:
+    """Prefix sums over a fixed-size array of non-negative reals."""
+
+    __slots__ = ("_tree", "_size")
+
+    def __init__(self, values: Optional[Sequence[float]] = None, size: Optional[int] = None):
+        if values is None and size is None:
+            raise ValueError("provide initial values or a size")
+        if values is not None:
+            self._size = len(values)
+            # O(n) bulk build: copy then push partial sums upward.
+            self._tree: List[float] = [0.0] * (self._size + 1)
+            for index, value in enumerate(values):
+                self._tree[index + 1] += value
+            for index in range(1, self._size):
+                parent = index + (index & -index)
+                if parent <= self._size:
+                    self._tree[parent] += self._tree[index]
+        else:
+            assert size is not None
+            self._size = size
+            self._tree = [0.0] * (size + 1)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, index: int, delta: float) -> None:
+        """Add ``delta`` to the value at ``index`` (0-based)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        position = index + 1
+        while position <= self._size:
+            self._tree[position] += delta
+            position += position & -position
+
+    def prefix_sum(self, count: int) -> float:
+        """Sum of the first ``count`` values (``count`` may be 0..size)."""
+        if not 0 <= count <= self._size:
+            raise IndexError(f"count {count} out of range [0, {self._size}]")
+        total = 0.0
+        position = count
+        while position > 0:
+            total += self._tree[position]
+            position -= position & -position
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Sum of values at indices ``lo..hi-1`` (half-open)."""
+        if lo > hi:
+            raise IndexError(f"empty-range bounds reversed: [{lo}, {hi})")
+        return self.prefix_sum(hi) - self.prefix_sum(lo)
+
+    @property
+    def total(self) -> float:
+        """Sum of all values."""
+        return self.prefix_sum(self._size)
+
+    def find_prefix(self, target: float) -> int:
+        """Smallest index ``i`` with ``prefix_sum(i + 1) > target``.
+
+        Runs in ``O(log n)`` via binary lifting over the implicit tree.
+        ``target`` must lie in ``[0, total)``; this is the inverse-CDF step
+        used by :class:`repro.core.dynamic.FenwickDynamicSampler`.
+        """
+        if target < 0:
+            raise ValueError("target must be non-negative")
+        position = 0
+        remaining = target
+        step = 1
+        while step * 2 <= self._size:
+            step *= 2
+        while step > 0:
+            candidate = position + step
+            if candidate <= self._size and self._tree[candidate] <= remaining:
+                position = candidate
+                remaining -= self._tree[candidate]
+            step //= 2
+        if position >= self._size:
+            raise ValueError(f"target {target} is not below the total weight {self.total}")
+        return position
+
+    def values(self) -> List[float]:
+        """Reconstruct the underlying array (O(n log n); for tests/debug)."""
+        return [self.range_sum(index, index + 1) for index in range(self._size)]
+
+
+def fenwick_from(values: Iterable[float]) -> FenwickTree:
+    """Convenience constructor accepting any iterable."""
+    return FenwickTree(list(values))

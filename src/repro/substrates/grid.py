@@ -1,0 +1,129 @@
+"""Randomly shifted grids over R^d — the LSH stand-in for fair NN (§2, §7).
+
+The fair near-neighbor solutions the paper cites [6–8, 17] hash points
+into LSH buckets and apply set-union sampling to the buckets matching a
+query. We substitute ``L`` uniformly shifted grids with cell side equal to
+the query radius: every point lands in one cell per grid, so each point
+appears in ``L`` (overlapping) sets — exactly the structural challenge
+Theorem 8 addresses (DESIGN.md §4, substitution 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import BuildError
+from repro.substrates.rng import RNGLike, ensure_rng
+
+Point = Tuple[float, ...]
+Cell = Tuple[int, ...]
+
+
+class ShiftedGrids:
+    """``L`` shifted uniform grids bucketing weighted points."""
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        cell_size: float,
+        num_grids: int = 2,
+        rng: RNGLike = None,
+    ):
+        if len(points) == 0:
+            raise BuildError("ShiftedGrids requires at least one point")
+        if cell_size <= 0:
+            raise BuildError("cell_size must be positive")
+        if num_grids < 1:
+            raise BuildError("need at least one grid")
+        dims = len(points[0])
+        if any(len(p) != dims for p in points):
+            raise BuildError("all points must share the same dimensionality")
+        self.dims = dims
+        self.cell_size = cell_size
+        self.num_grids = num_grids
+        self._points = [tuple(p) for p in points]
+        generator = ensure_rng(rng)
+        self._shifts: List[Tuple[float, ...]] = [
+            tuple(generator.random() * cell_size for _ in range(dims))
+            for _ in range(num_grids)
+        ]
+        # Per grid: cell coordinates -> list of point indices.
+        self._buckets: List[Dict[Cell, List[int]]] = []
+        for shift in self._shifts:
+            buckets: Dict[Cell, List[int]] = {}
+            for index, point in enumerate(self._points):
+                cell = self._cell_of(point, shift)
+                buckets.setdefault(cell, []).append(index)
+            self._buckets.append(buckets)
+
+        # Flatten every non-empty cell of every grid into one set family F
+        # (elements are point indices, shared across grids so the union
+        # sampler deduplicates them naturally).
+        self._family: List[List[int]] = []
+        self._family_key: List[Tuple[int, Cell]] = []
+        self._family_index: Dict[Tuple[int, Cell], int] = {}
+        for grid_index, buckets in enumerate(self._buckets):
+            for cell, members in buckets.items():
+                key = (grid_index, cell)
+                self._family_index[key] = len(self._family)
+                self._family_key.append(key)
+                self._family.append(members)
+
+    def _cell_of(self, point: Point, shift: Tuple[float, ...]) -> Cell:
+        size = self.cell_size
+        return tuple(
+            math.floor((coordinate + offset) / size)
+            for coordinate, offset in zip(point, shift)
+        )
+
+    @property
+    def points(self) -> Sequence[Point]:
+        return self._points
+
+    @property
+    def family(self) -> List[List[int]]:
+        """The set family F (point-index lists) for the union sampler."""
+        return self._family
+
+    def total_family_size(self) -> int:
+        """``n = Σ|S|``: each point appears once per grid."""
+        return sum(len(s) for s in self._family)
+
+    def cells_for_ball(self, center: Point, radius: float) -> List[int]:
+        """Family indices of every cell (any grid) intersecting the ball.
+
+        The union of these cells contains every point within ``radius`` of
+        ``center``; cells are pruned by exact box-ball distance.
+        """
+        if len(center) != self.dims:
+            raise ValueError(f"query has {len(center)} dims, grids have {self.dims}")
+        size = self.cell_size
+        selected: List[int] = []
+        for grid_index, (shift, buckets) in enumerate(zip(self._shifts, self._buckets)):
+            ranges = []
+            for axis in range(self.dims):
+                lo = math.floor((center[axis] - radius + shift[axis]) / size)
+                hi = math.floor((center[axis] + radius + shift[axis]) / size)
+                ranges.append(range(lo, hi + 1))
+            for cell in itertools.product(*ranges):
+                if cell not in buckets:
+                    continue
+                if self._box_ball_distance(cell, shift, center) <= radius:
+                    selected.append(self._family_index[(grid_index, cell)])
+        return selected
+
+    def _box_ball_distance(self, cell: Cell, shift: Tuple[float, ...], center: Point) -> float:
+        """Distance from ``center`` to the cell's axis-aligned box."""
+        size = self.cell_size
+        squared = 0.0
+        for axis in range(self.dims):
+            box_lo = cell[axis] * size - shift[axis]
+            box_hi = box_lo + size
+            coordinate = center[axis]
+            if coordinate < box_lo:
+                squared += (box_lo - coordinate) ** 2
+            elif coordinate > box_hi:
+                squared += (coordinate - box_hi) ** 2
+        return math.sqrt(squared)

@@ -1,0 +1,191 @@
+"""kd-tree with cover finding (paper §5, first Theorem-5 example).
+
+A kd-tree over ``n`` points in ``R^d`` uses ``O(n)`` space and, for any
+axis-parallel rectangle ``q``, yields a cover ``C_q`` of
+``O(n^{1-1/d} + output-boundary)`` disjoint nodes whose subtrees partition
+``S ∩ q``. Feeding that cover to :class:`repro.core.coverage.CoverageSampler`
+gives the paper's ``O(n)``-space, ``O(n^{1-1/d} + s)``-query IQS structure
+for multi-dimensional weighted range sampling.
+
+The tree stores points in *leaf order*: every node's subtree occupies a
+contiguous span of the reordered point array, so a cover is reported as a
+list of disjoint half-open spans (singleton spans for boundary-leaf points
+that individually satisfy ``q``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import BuildError
+from repro.validation import validate_weights
+
+Point = Tuple[float, ...]
+Rect = Sequence[Tuple[float, float]]
+Span = Tuple[int, int]
+
+NO_CHILD = -1
+
+
+def rect_contains_point(rect: Rect, point: Point) -> bool:
+    """Closed-rectangle membership test."""
+    return all(lo <= coordinate <= hi for (lo, hi), coordinate in zip(rect, point))
+
+
+def _rect_contains_box(rect: Rect, box_lo: Point, box_hi: Point) -> bool:
+    return all(
+        r_lo <= b_lo and b_hi <= r_hi
+        for (r_lo, r_hi), b_lo, b_hi in zip(rect, box_lo, box_hi)
+    )
+
+
+def _rect_intersects_box(rect: Rect, box_lo: Point, box_hi: Point) -> bool:
+    return all(
+        r_lo <= b_hi and b_lo <= r_hi
+        for (r_lo, r_hi), b_lo, b_hi in zip(rect, box_lo, box_hi)
+    )
+
+
+class KDTree:
+    """Median-split kd-tree over weighted points with span covers."""
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        weights: Optional[Sequence[float]] = None,
+        leaf_size: int = 8,
+    ):
+        if len(points) == 0:
+            raise BuildError("KDTree requires at least one point")
+        dims = len(points[0])
+        if dims == 0:
+            raise BuildError("points must have at least one dimension")
+        if any(len(p) != dims for p in points):
+            raise BuildError("all points must share the same dimensionality")
+        if weights is None:
+            weights = [1.0] * len(points)
+        if len(weights) != len(points):
+            raise BuildError(f"got {len(points)} points but {len(weights)} weights")
+        if leaf_size < 1:
+            raise BuildError("leaf_size must be >= 1")
+        cleaned = validate_weights(weights, context="KDTree")
+
+        self.dims = dims
+        self._leaf_size = leaf_size
+
+        order = list(range(len(points)))
+        # Node arrays (structure-of-arrays, ids assigned in pre-order).
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._lo: List[int] = []
+        self._hi: List[int] = []
+        self._box_lo: List[Point] = []
+        self._box_hi: List[Point] = []
+
+        source_points = points
+
+        def tight_box(lo: int, hi: int) -> Tuple[Point, Point]:
+            subset = [source_points[order[i]] for i in range(lo, hi)]
+            box_lo = tuple(min(p[axis] for p in subset) for axis in range(dims))
+            box_hi = tuple(max(p[axis] for p in subset) for axis in range(dims))
+            return box_lo, box_hi
+
+        def build(lo: int, hi: int, depth: int) -> int:
+            node = len(self._left)
+            self._left.append(NO_CHILD)
+            self._right.append(NO_CHILD)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            box_lo, box_hi = tight_box(lo, hi)
+            self._box_lo.append(box_lo)
+            self._box_hi.append(box_hi)
+            if hi - lo > leaf_size:
+                axis = depth % dims
+                segment = order[lo:hi]
+                segment.sort(key=lambda index: source_points[index][axis])
+                order[lo:hi] = segment
+                mid = (lo + hi) // 2
+                left = build(lo, mid, depth + 1)
+                right = build(mid, hi, depth + 1)
+                self._left[node] = left
+                self._right[node] = right
+            return node
+
+        self.root = build(0, len(points), 0)
+        self._order = order
+        self._leaf_points: List[Point] = [tuple(points[i]) for i in order]
+        self._leaf_weights: List[float] = [cleaned[i] for i in order]
+        self._original_index: List[int] = list(order)
+
+    # ------------------------------------------------------------------
+    # CoverableIndex protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def leaf_items(self) -> Sequence[Point]:
+        """Points in leaf order (each node's subtree is a contiguous span)."""
+        return self._leaf_points
+
+    @property
+    def leaf_weights(self) -> Sequence[float]:
+        return self._leaf_weights
+
+    def original_index(self, leaf_position: int) -> int:
+        """Input position of the point stored at ``leaf_position``."""
+        return self._original_index[leaf_position]
+
+    def find_cover(self, rect: Rect) -> List[Span]:
+        """Disjoint leaf-order spans whose union is exactly ``S ∩ rect``.
+
+        ``O(n^{1-1/d})`` spans for any rectangle (plus spans for boundary
+        points), by the standard kd-tree crossing argument.
+        """
+        if len(rect) != self.dims:
+            raise ValueError(f"query has {len(rect)} dims, tree has {self.dims}")
+        spans: List[Span] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            box_lo, box_hi = self._box_lo[node], self._box_hi[node]
+            if not _rect_intersects_box(rect, box_lo, box_hi):
+                continue
+            lo, hi = self._lo[node], self._hi[node]
+            if _rect_contains_box(rect, box_lo, box_hi):
+                spans.append((lo, hi))
+                continue
+            if self._left[node] == NO_CHILD:
+                # Boundary leaf bucket: emit singleton spans for the
+                # individual points inside the rectangle.
+                for position in range(lo, hi):
+                    if rect_contains_point(rect, self._leaf_points[position]):
+                        spans.append((position, position + 1))
+                continue
+            stack.append(self._right[node])
+            stack.append(self._left[node])
+        return spans
+
+    def iter_node_spans(self) -> List[Span]:
+        """All subtree spans (used by alias-backend precomputation)."""
+        return [(self._lo[node], self._hi[node]) for node in range(len(self._left))]
+
+    # ------------------------------------------------------------------
+    # reporting baseline
+    # ------------------------------------------------------------------
+
+    def report(self, rect: Rect) -> List[Point]:
+        """Classic orthogonal range reporting (the structure's day job)."""
+        return [
+            self._leaf_points[position]
+            for lo, hi in self.find_cover(rect)
+            for position in range(lo, hi)
+        ]
+
+    def count(self, rect: Rect) -> int:
+        return sum(hi - lo for lo, hi in self.find_cover(rect))
+
+    @property
+    def node_count(self) -> int:
+        return len(self._left)
+
+    def __len__(self) -> int:
+        return len(self._leaf_points)

@@ -1,0 +1,74 @@
+"""Value-ordered BST augmented with subtree minimum rank.
+
+Substrate for the §2 *dependent* query-sampling baseline: after fixing a
+random permutation of ``S`` (each element's *rank* is its permutation
+position), a query returns the ``s`` elements of ``S_q`` with the lowest
+ranks. This is an instance of top-k range reporting; we support it with a
+min-rank-augmented BST and a heap-of-subtrees extraction that emits the
+``s`` smallest ranks in a value range in ``O((log n + s) log n)`` time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+from repro.errors import BuildError
+from repro.substrates.bst import StaticBST
+
+
+class MinRankTree:
+    """Balanced BST over sorted keys, augmented with subtree min rank."""
+
+    __slots__ = ("_tree", "_ranks", "_min_rank")
+
+    def __init__(self, keys: Sequence[float], ranks: Sequence[int]):
+        if len(keys) != len(ranks):
+            raise BuildError(f"got {len(keys)} keys but {len(ranks)} ranks")
+        if len(set(ranks)) != len(ranks):
+            raise BuildError("ranks must be distinct (they index a permutation)")
+        self._tree = StaticBST(keys)
+        self._ranks: List[int] = list(ranks)
+        # min_rank[u]: smallest rank among leaves below node u.
+        self._min_rank: List[int] = [0] * self._tree.node_count
+        # Node ids are assigned in pre-order, so children have larger ids
+        # than their parent; iterate in reverse for a bottom-up pass.
+        for node in range(self._tree.node_count - 1, -1, -1):
+            if self._tree.is_leaf(node):
+                self._min_rank[node] = self._ranks[self._tree.leaf_span(node)[0]]
+            else:
+                left, right = self._tree.children(node)
+                self._min_rank[node] = min(self._min_rank[left], self._min_rank[right])
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def keys(self) -> List[float]:
+        return self._tree.keys
+
+    def rank_of_index(self, index: int) -> int:
+        return self._ranks[index]
+
+    def lowest_ranked_in_range(self, x: float, y: float, s: int) -> List[Tuple[int, int]]:
+        """The ``min(s, |S_q|)`` elements of ``S ∩ [x, y]`` with lowest ranks.
+
+        Returns ``(rank, sorted_index)`` pairs in increasing rank order.
+        Uses a heap over canonical subtrees: pop the subtree with the
+        smallest min-rank; if it is a leaf, emit it, otherwise push its two
+        children. Each emission costs ``O(log n)`` heap operations.
+        """
+        tree = self._tree
+        cover = tree.canonical_nodes(x, y)
+        heap: List[Tuple[int, int]] = [(self._min_rank[u], u) for u in cover]
+        heapq.heapify(heap)
+        result: List[Tuple[int, int]] = []
+        while heap and len(result) < s:
+            rank, node = heapq.heappop(heap)
+            if tree.is_leaf(node):
+                result.append((rank, tree.leaf_span(node)[0]))
+            else:
+                left, right = tree.children(node)
+                heapq.heappush(heap, (self._min_rank[left], left))
+                heapq.heappush(heap, (self._min_rank[right], right))
+        return result

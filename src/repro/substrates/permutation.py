@@ -1,0 +1,51 @@
+"""Random permutations and rank assignment (paper §2 and §7).
+
+Two IQS techniques rest on a random permutation of the input:
+
+* the *dependent* query-sampling baseline of §2 fixes one permutation and
+  always returns the lowest-rank elements in the query range;
+* the set-union sampler of §7 (Theorem 8) permutes the universe and indexes
+  every set by the resulting ranks.
+
+Ranks here are 1-based, matching the paper's convention that the rank of an
+element is its position in the permuted sequence Π.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterable, List, Sequence, TypeVar
+
+from repro.substrates.rng import RNGLike, ensure_rng
+
+T = TypeVar("T", bound=Hashable)
+
+
+def random_permutation(items: Sequence[T], rng: RNGLike = None) -> List[T]:
+    """Return a uniformly random permutation of ``items`` (Fisher–Yates)."""
+    generator = ensure_rng(rng)
+    permuted = list(items)
+    generator.shuffle(permuted)
+    return permuted
+
+
+def assign_ranks(items: Iterable[T], rng: RNGLike = None) -> Dict[T, int]:
+    """Map each distinct item to its 1-based position in a random permutation.
+
+    Raises ``ValueError`` if ``items`` contains duplicates, since a rank
+    function must be injective for the §7 analysis to hold.
+    """
+    generator = ensure_rng(rng)
+    distinct = list(items)
+    if len(set(distinct)) != len(distinct):
+        raise ValueError("assign_ranks requires distinct items")
+    generator.shuffle(distinct)
+    return {item: position + 1 for position, item in enumerate(distinct)}
+
+
+def inverse_permutation(permutation: Sequence[int]) -> List[int]:
+    """Invert a permutation of ``0..len-1`` (helper for EM shuffling)."""
+    inverse = [0] * len(permutation)
+    for index, value in enumerate(permutation):
+        inverse[value] = index
+    return inverse

@@ -1,0 +1,160 @@
+"""Point quadtree with cover finding (paper §3.2 remark, Looz–Meyerhenke).
+
+Looz and Meyerhenke applied tree sampling to the quadtree to obtain an
+``O(n)``-space structure with ``O((√n + s) log n)`` query time under data
+assumptions. Here the quadtree implements the same span-cover protocol as
+the kd-tree, so it plugs into :class:`repro.core.coverage.CoverageSampler`
+directly; experiment E5 compares its cover sizes against the kd-tree's.
+
+2D only (the classical quadtree setting).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import BuildError
+from repro.substrates.kdtree import Rect, Span, rect_contains_point
+from repro.validation import validate_weights
+
+Point2 = Tuple[float, float]
+
+NO_CHILD = -1
+
+
+class QuadTree:
+    """Region quadtree over weighted 2D points, bucket leaves, span covers."""
+
+    def __init__(
+        self,
+        points: Sequence[Point2],
+        weights: Optional[Sequence[float]] = None,
+        leaf_size: int = 8,
+        max_depth: int = 32,
+    ):
+        if len(points) == 0:
+            raise BuildError("QuadTree requires at least one point")
+        if any(len(p) != 2 for p in points):
+            raise BuildError("QuadTree points must be 2-dimensional")
+        if weights is None:
+            weights = [1.0] * len(points)
+        if len(weights) != len(points):
+            raise BuildError(f"got {len(points)} points but {len(weights)} weights")
+        if leaf_size < 1:
+            raise BuildError("leaf_size must be >= 1")
+        cleaned = validate_weights(weights, context="QuadTree")
+        self.dims = 2
+        self._leaf_size = leaf_size
+
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        side = max(max(xs) - min(xs), max(ys) - min(ys))
+        side = side if side > 0 else 1.0
+        root_lo = (min(xs), min(ys))
+        root_hi = (root_lo[0] + side, root_lo[1] + side)
+
+        order = list(range(len(points)))
+        self._children: List[List[int]] = []
+        self._lo: List[int] = []
+        self._hi: List[int] = []
+        self._cell_lo: List[Point2] = []
+        self._cell_hi: List[Point2] = []
+
+        def build(indices: List[int], cell_lo: Point2, cell_hi: Point2, offset: int, depth: int) -> int:
+            node = len(self._children)
+            self._children.append([])
+            self._lo.append(offset)
+            self._hi.append(offset + len(indices))
+            self._cell_lo.append(cell_lo)
+            self._cell_hi.append(cell_hi)
+            if len(indices) <= leaf_size or depth >= max_depth:
+                order[offset : offset + len(indices)] = indices
+                return node
+            mid_x = (cell_lo[0] + cell_hi[0]) / 2
+            mid_y = (cell_lo[1] + cell_hi[1]) / 2
+            quadrants: List[List[int]] = [[], [], [], []]
+            for index in indices:
+                x, y = points[index]
+                quadrant = (1 if x > mid_x else 0) | (2 if y > mid_y else 0)
+                quadrants[quadrant].append(index)
+            child_cells = [
+                ((cell_lo[0], cell_lo[1]), (mid_x, mid_y)),
+                ((mid_x, cell_lo[1]), (cell_hi[0], mid_y)),
+                ((cell_lo[0], mid_y), (mid_x, cell_hi[1])),
+                ((mid_x, mid_y), (cell_hi[0], cell_hi[1])),
+            ]
+            child_offset = offset
+            for quadrant, bucket in enumerate(quadrants):
+                if not bucket:
+                    continue
+                q_lo, q_hi = child_cells[quadrant]
+                child = build(bucket, q_lo, q_hi, child_offset, depth + 1)
+                self._children[node].append(child)
+                child_offset += len(bucket)
+            return node
+
+        self.root = build(order[:], root_lo, root_hi, 0, 0)
+        self._order = order
+        self._leaf_points: List[Point2] = [tuple(points[i]) for i in order]
+        self._leaf_weights: List[float] = [cleaned[i] for i in order]
+        self._original_index: List[int] = list(order)
+
+    # ------------------------------------------------------------------
+    # CoverableIndex protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def leaf_items(self) -> Sequence[Point2]:
+        return self._leaf_points
+
+    @property
+    def leaf_weights(self) -> Sequence[float]:
+        return self._leaf_weights
+
+    def original_index(self, leaf_position: int) -> int:
+        return self._original_index[leaf_position]
+
+    def find_cover(self, rect: Rect) -> List[Span]:
+        """Disjoint leaf-order spans partitioning ``S ∩ rect``."""
+        if len(rect) != 2:
+            raise ValueError("QuadTree queries must be 2-dimensional rectangles")
+        (qx_lo, qx_hi), (qy_lo, qy_hi) = rect
+        spans: List[Span] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            cx_lo, cy_lo = self._cell_lo[node]
+            cx_hi, cy_hi = self._cell_hi[node]
+            if cx_lo > qx_hi or qx_lo > cx_hi or cy_lo > qy_hi or qy_lo > cy_hi:
+                continue
+            lo, hi = self._lo[node], self._hi[node]
+            if qx_lo <= cx_lo and cx_hi <= qx_hi and qy_lo <= cy_lo and cy_hi <= qy_hi:
+                spans.append((lo, hi))
+                continue
+            if not self._children[node]:
+                for position in range(lo, hi):
+                    if rect_contains_point(rect, self._leaf_points[position]):
+                        spans.append((position, position + 1))
+                continue
+            stack.extend(self._children[node])
+        return spans
+
+    def iter_node_spans(self) -> List[Span]:
+        return [(self._lo[node], self._hi[node]) for node in range(len(self._children))]
+
+    def report(self, rect: Rect) -> List[Point2]:
+        return [
+            self._leaf_points[position]
+            for lo, hi in self.find_cover(rect)
+            for position in range(lo, hi)
+        ]
+
+    def count(self, rect: Rect) -> int:
+        return sum(hi - lo for lo, hi in self.find_cover(rect))
+
+    @property
+    def node_count(self) -> int:
+        return len(self._children)
+
+    def __len__(self) -> int:
+        return len(self._leaf_points)

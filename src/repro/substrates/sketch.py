@@ -1,0 +1,108 @@
+"""KMV (bottom-k) distinct-count sketches (paper §7, "Deriving U_G").
+
+Theorem 8 needs, for any queried group ``G`` of sets, an estimate
+``Û_G ∈ [U_G/2, 1.5·U_G]`` of the number of distinct elements in ``∪G``,
+obtainable *without* reading the sets. The paper cites the sketch of [9];
+we implement the classic KMV/bottom-k sketch, which offers the two
+properties the algorithm actually uses:
+
+* mergeable: the sketch of ``S₁ ∪ S₂`` is computed from the two sketches
+  alone (keep the ``k`` smallest hashes of their union);
+* an unbiased-ish estimator ``(k-1)/h_(k)`` with relative standard error
+  ``≈ 1/√(k-2)``, so ``k = 64`` comfortably achieves ±50 %.
+
+All sketches that are to be merged must share the same ``salt`` so they
+hash identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Hashable, Iterable, List
+
+from repro.errors import BuildError
+
+_MAX_HASH = float(1 << 64)
+
+
+def _hash_to_unit(item: Hashable, salt: int) -> float:
+    """Deterministic salted hash of ``item`` into [0, 1)."""
+    payload = repr(item).encode("utf-8")
+    digest = hashlib.blake2b(
+        payload, digest_size=8, key=salt.to_bytes(8, "little", signed=False)
+    ).digest()
+    (value,) = struct.unpack("<Q", digest)
+    return value / _MAX_HASH
+
+
+class KMVSketch:
+    """Keep the k minimum hash values of a set; estimate its cardinality."""
+
+    __slots__ = ("k", "salt", "_values", "_members")
+
+    def __init__(self, k: int = 64, salt: int = 0):
+        if k < 2:
+            raise BuildError("KMV sketch needs k >= 2")
+        self.k = k
+        self.salt = salt
+        self._values: List[float] = []  # sorted ascending, at most k entries
+        self._members: set = set()  # the hashes currently retained
+
+    @classmethod
+    def from_items(cls, items: Iterable[Hashable], k: int = 64, salt: int = 0) -> "KMVSketch":
+        sketch = cls(k=k, salt=salt)
+        for item in items:
+            sketch.add(item)
+        return sketch
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def add(self, item: Hashable) -> None:
+        """Insert one element (duplicates are absorbed)."""
+        self._add_hash(_hash_to_unit(item, self.salt))
+
+    def _add_hash(self, value: float) -> None:
+        if value in self._members:
+            return
+        if len(self._values) < self.k:
+            self._members.add(value)
+            self._insort(value)
+            return
+        if value >= self._values[-1]:
+            return
+        self._members.discard(self._values[-1])
+        self._values.pop()
+        self._members.add(value)
+        self._insort(value)
+
+    def _insort(self, value: float) -> None:
+        from bisect import insort
+
+        insort(self._values, value)
+
+    def merge(self, other: "KMVSketch") -> "KMVSketch":
+        """Sketch of the union of the two underlying sets (§7)."""
+        if other.salt != self.salt:
+            raise BuildError("cannot merge sketches with different salts")
+        merged = KMVSketch(k=min(self.k, other.k), salt=self.salt)
+        for value in self._values:
+            merged._add_hash(value)
+        for value in other._values:
+            merged._add_hash(value)
+        return merged
+
+    def estimate(self) -> float:
+        """Distinct-count estimate.
+
+        Exact when fewer than ``k`` distinct hashes were seen, else the
+        classic ``(k-1)/h_(k)`` bottom-k estimator.
+        """
+        if len(self._values) < self.k:
+            return float(len(self._values))
+        return (self.k - 1) / self._values[-1]
+
+    def relative_standard_error(self) -> float:
+        """Approximate RSE of :meth:`estimate` (``1/√(k-2)``)."""
+        return 1.0 / (self.k - 2) ** 0.5

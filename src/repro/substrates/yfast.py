@@ -1,0 +1,163 @@
+"""Y-fast-trie predecessor structure over an integer universe (§4.3).
+
+Afshani and Wei showed that when the elements of ``S`` come from an
+integer domain ``[1, U]``, weighted range sampling is solvable with
+``O(n)`` space and ``O(log log U + s)`` query time — the only part of the
+Theorem-3 pipeline that costs ``Θ(log n)`` is locating the query
+endpoints, and over an integer universe that becomes a *predecessor*
+query, solvable in ``O(log log U)``.
+
+This module provides that predecessor substrate: a y-fast trie — an
+x-fast-trie top level over ``Θ(n / log U)`` representatives (hash tables
+of prefixes, binary search over ``log U`` levels) with balanced buckets of
+``Θ(log U)`` consecutive keys at the bottom. Static version (built once),
+which is all the sampling structures need.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import BuildError
+
+
+class YFastTrie:
+    """Static predecessor/successor queries in O(log log U)."""
+
+    def __init__(self, keys: Sequence[int], universe_bits: int = 0):
+        if len(keys) == 0:
+            raise BuildError("YFastTrie requires at least one key")
+        ordered = list(keys)
+        for i in range(1, len(ordered)):
+            if not ordered[i - 1] < ordered[i]:
+                raise BuildError("YFastTrie keys must be strictly increasing")
+        if ordered[0] < 0:
+            raise BuildError("YFastTrie keys must be non-negative integers")
+        self._keys: List[int] = ordered
+
+        max_key = ordered[-1]
+        bits = universe_bits if universe_bits > 0 else max(1, max_key.bit_length())
+        if max_key >= (1 << bits):
+            raise BuildError(f"keys exceed the {bits}-bit universe")
+        self._bits = bits
+
+        # Buckets of Θ(bits) consecutive keys; representative = first key.
+        bucket_size = max(1, bits)
+        self._bucket_starts: List[int] = []  # index into _keys
+        self._representatives: List[int] = []
+        for start in range(0, len(ordered), bucket_size):
+            self._bucket_starts.append(start)
+            self._representatives.append(ordered[start])
+
+        # X-fast levels: for level L (0 = full key), a hash table of the
+        # representatives' prefixes with L low bits stripped, mapping each
+        # prefix to the (min, max) representative positions beneath it —
+        # enough to resolve a predecessor after the binary search over
+        # levels without walking.
+        self._levels: List[Dict[int, tuple]] = []
+        for level in range(bits + 1):
+            table: Dict[int, tuple] = {}
+            for position, representative in enumerate(self._representatives):
+                prefix = representative >> level
+                bounds = table.get(prefix)
+                if bounds is None:
+                    table[prefix] = (position, position)
+                else:
+                    table[prefix] = (min(bounds[0], position), max(bounds[1], position))
+            self._levels.append(table)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def universe_bits(self) -> int:
+        return self._bits
+
+    def _bucket_of_predecessor(self, query: int) -> Optional[int]:
+        """Index of the bucket whose representative is the predecessor of
+        ``query`` among representatives, via O(log log U) binary search
+        over prefix levels."""
+        if query < self._representatives[0]:
+            return None
+        if query >= self._representatives[-1]:
+            return len(self._representatives) - 1
+        # Binary search over levels for the longest prefix of `query`
+        # shared with some representative. Level `bits` (prefix 0) always
+        # matches, so the search is well defined.
+        low, high = 0, self._bits
+        while low < high:
+            mid = (low + high) // 2
+            if (query >> mid) in self._levels[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        level = high
+        min_pos, max_pos = self._levels[level][query >> level]
+        if level == 0:
+            # Exact hit: `query` is itself a representative.
+            return max_pos
+        # The representatives under this prefix agree with `query` above
+        # bit (level-1) and none matches it at bit (level-1):
+        if (query >> (level - 1)) & 1:
+            # query branches right where only smaller representatives live.
+            return max_pos
+        # query branches left; everything under the prefix is larger, so
+        # the predecessor is the representative just before the subtree.
+        return min_pos - 1 if min_pos > 0 else None
+
+    def predecessor_index(self, query: int) -> Optional[int]:
+        """Index (into the sorted key list) of the largest key ≤ query."""
+        bucket = self._bucket_of_predecessor(query)
+        if bucket is None:
+            return None
+        start = self._bucket_starts[bucket]
+        stop = (
+            self._bucket_starts[bucket + 1]
+            if bucket + 1 < len(self._bucket_starts)
+            else len(self._keys)
+        )
+        # Binary search within the Θ(log U)-sized bucket: O(log log U).
+        position = bisect_right(self._keys, query, start, stop) - 1
+        if position < start:
+            return None
+        return position
+
+    def predecessor(self, query: int) -> Optional[int]:
+        """Largest key ≤ query, or None."""
+        index = self.predecessor_index(query)
+        return None if index is None else self._keys[index]
+
+    def successor_index(self, query: int) -> Optional[int]:
+        """Index of the smallest key ≥ query, or None."""
+        index = self.predecessor_index(query)
+        if index is not None and self._keys[index] == query:
+            return index
+        position = 0 if index is None else index + 1
+        return position if position < len(self._keys) else None
+
+    def successor(self, query: int) -> Optional[int]:
+        index = self.successor_index(query)
+        return None if index is None else self._keys[index]
+
+    def span_of(self, x: int, y: int) -> tuple:
+        """Half-open sorted-index range of keys in ``[x, y]``.
+
+        Two predecessor searches: O(log log U), vs the Θ(log n) bisect the
+        real-domain structures pay — the point of the §4.3 remark.
+        """
+        if x > y:
+            return 0, 0
+        lo = self.successor_index(x)
+        if lo is None:
+            return 0, 0
+        hi_index = self.predecessor_index(y)
+        if hi_index is None or hi_index < lo:
+            return 0, 0
+        return lo, hi_index + 1
+
+    def verify_against_bisect(self, query: int) -> bool:
+        """Cross-check helper used by tests."""
+        expected = bisect_left(self._keys, query + 1) - 1
+        actual = self.predecessor_index(query)
+        return (expected < 0 and actual is None) or expected == actual

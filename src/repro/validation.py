@@ -1,0 +1,37 @@
+"""Input validation helpers shared across the package."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import InvalidWeightError
+
+
+def validate_weights(weights: Sequence[float], *, context: str = "sampler") -> List[float]:
+    """Check that every weight is positive and finite; return them as floats.
+
+    The paper's problem statements (§1, §3.1) require *positive* weights:
+    a zero-weight element can simply be dropped by the caller, and negative
+    or non-finite weights make the sampling distribution undefined.
+    """
+    cleaned: List[float] = []
+    for index, weight in enumerate(weights):
+        value = float(weight)
+        if math.isnan(value) or math.isinf(value):
+            raise InvalidWeightError(f"{context}: weight at index {index} is {weight!r}")
+        if value <= 0.0:
+            raise InvalidWeightError(
+                f"{context}: weight at index {index} must be positive, got {weight!r}"
+            )
+        cleaned.append(value)
+    return cleaned
+
+
+def validate_sample_size(s: int) -> int:
+    """Check that a requested sample size is a positive integer."""
+    if not isinstance(s, int) or isinstance(s, bool):
+        raise TypeError(f"sample size must be an int, got {type(s)!r}")
+    if s < 1:
+        raise ValueError(f"sample size must be >= 1, got {s}")
+    return s

@@ -1,0 +1,56 @@
+"""Unit tests for diversity helpers (Benefit 3, §2)."""
+
+import pytest
+
+from repro.apps.diversity import (
+    coverage_over_time,
+    min_pairwise_distance,
+    representatives,
+)
+from repro.core.dependent import DependentRangeSampler
+from repro.core.range_sampler import ChunkedRangeSampler
+
+
+class TestRepresentatives:
+    def test_distinct_outputs(self):
+        keys = [float(i) for i in range(100)]
+        sampler = ChunkedRangeSampler(keys, rng=1)
+        out = representatives(lambda: sampler.sample(0.0, 99.0, 1)[0], 10, 100)
+        assert len(set(out)) == 10
+
+
+class TestMinPairwiseDistance:
+    def test_basic(self):
+        points = [(0.0, 0.0), (3.0, 4.0), (0.0, 1.0)]
+        assert min_pairwise_distance(points) == pytest.approx(1.0)
+
+    def test_degenerate_inputs(self):
+        assert min_pairwise_distance([]) == float("inf")
+        assert min_pairwise_distance([(1.0, 1.0)]) == float("inf")
+
+    def test_duplicates_give_zero(self):
+        assert min_pairwise_distance([(1.0, 1.0), (1.0, 1.0)]) == 0.0
+
+
+class TestCoverageOverTime:
+    def test_iqs_coverage_keeps_growing(self):
+        keys = [float(i) for i in range(200)]
+        sampler = ChunkedRangeSampler(keys, rng=2)
+        curve = coverage_over_time(lambda s: sampler.sample(0.0, 199.0, s), 10, 20)
+        assert curve[-1] > curve[0]
+        assert curve == sorted(curve)  # monotone
+        assert curve[-1] > 100  # 200 draws over 200 keys cover well past half
+
+    def test_dependent_coverage_flatlines(self):
+        keys = [float(i) for i in range(200)]
+        sampler = DependentRangeSampler(keys, rng=3)
+        curve = coverage_over_time(
+            lambda s: sampler.sample_without_replacement(0.0, 199.0, s), 10, 20
+        )
+        assert curve[-1] == curve[0] == 10  # same 10 elements forever
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            coverage_over_time(lambda s: [], 0, 5)
+        with pytest.raises(ValueError):
+            coverage_over_time(lambda s: [], 5, 0)

@@ -1,0 +1,77 @@
+"""Unit tests for fair near-neighbor search (Benefit 2, §7)."""
+
+import math
+
+import pytest
+
+from repro.apps.fair_nn import FairNearNeighbor, euclidean
+from repro.apps.workloads import clustered_points, uniform_points
+from repro.errors import BuildError, EmptyQueryError
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+
+
+class TestConstruction:
+    def test_bad_radius_rejected(self):
+        with pytest.raises(BuildError):
+            FairNearNeighbor([(0.0, 0.0)], radius=0.0)
+
+    def test_euclidean(self):
+        assert euclidean((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+
+class TestQueries:
+    def test_samples_are_within_radius(self):
+        points = uniform_points(300, 2, rng=1)
+        fair = FairNearNeighbor(points, radius=0.15, rng=2)
+        query = (0.5, 0.5)
+        for point in fair.sample_many(query, 30):
+            assert euclidean(point, query) <= 0.15
+
+    def test_empty_ball_raises(self):
+        points = [(0.0, 0.0)]
+        fair = FairNearNeighbor(points, radius=0.1, rng=3)
+        with pytest.raises(EmptyQueryError):
+            fair.sample((10.0, 10.0))
+
+    def test_near_points_baseline(self):
+        points = [(0.0, 0.0), (0.05, 0.0), (1.0, 1.0)]
+        fair = FairNearNeighbor(points, radius=0.1, rng=4)
+        assert sorted(fair.near_points((0.0, 0.0))) == [(0.0, 0.0), (0.05, 0.0)]
+
+    def test_uniform_over_ball(self):
+        points = uniform_points(120, 2, rng=5)
+        fair = FairNearNeighbor(points, radius=0.25, num_grids=3, rng=6)
+        query = (0.5, 0.5)
+        ball = fair.near_points(query)
+        assert len(ball) >= 5
+        samples = fair.sample_many(query, 20_000)
+        target = {point: 1.0 for point in ball}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_repeated_queries_independent(self):
+        points = uniform_points(200, 2, rng=7)
+        fair = FairNearNeighbor(points, radius=0.2, rng=8)
+        query = (0.4, 0.6)
+        ball_size = len(fair.near_points(query))
+        assert ball_size >= 5
+        outputs = {fair.sample(query) for _ in range(60)}
+        # An IQS sampler keeps producing fresh elements; a dependent one
+        # would return a single point forever.
+        assert len(outputs) > 3
+
+    def test_clustered_data(self):
+        points = clustered_points(400, 2, clusters=4, spread=0.03, rng=9)
+        fair = FairNearNeighbor(points, radius=0.1, num_grids=2, rng=10)
+        query = points[0]
+        sample = fair.sample(query)
+        assert euclidean(sample, query) <= 0.1
+
+    def test_rejection_rate_reasonable(self):
+        points = uniform_points(500, 2, rng=11)
+        fair = FairNearNeighbor(points, radius=0.2, rng=12)
+        draws = 200
+        fair.sample_many((0.5, 0.5), draws)
+        # Ball area / candidate-cells area keeps acceptance constant-ish.
+        assert fair.total_rejections < 20 * draws

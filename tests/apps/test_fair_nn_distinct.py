@@ -1,0 +1,35 @@
+"""Tests for the WoR (distinct) fair near-neighbor API."""
+
+import pytest
+
+from repro.apps.fair_nn import FairNearNeighbor, euclidean
+from repro.apps.workloads import uniform_points
+from repro.errors import EmptyQueryError
+
+
+class TestDistinctNeighbors:
+    def test_outputs_distinct_and_near(self):
+        points = uniform_points(300, 2, rng=1)
+        fair = FairNearNeighbor(points, radius=0.2, rng=2)
+        query = (0.5, 0.5)
+        out = fair.sample_distinct(query, 8)
+        assert len(set(out)) == 8
+        assert all(euclidean(point, query) <= 0.2 for point in out)
+
+    def test_request_exceeding_ball_raises(self):
+        points = [(0.0, 0.0), (0.01, 0.0)]
+        fair = FairNearNeighbor(points, radius=0.1, rng=3)
+        with pytest.raises(EmptyQueryError):
+            fair.sample_distinct((0.0, 0.0), 3)
+
+    def test_exact_ball_draw(self):
+        points = [(0.0, 0.0), (0.01, 0.0), (0.0, 0.02), (5.0, 5.0)]
+        fair = FairNearNeighbor(points, radius=0.1, rng=4)
+        out = fair.sample_distinct((0.0, 0.0), 3)
+        assert sorted(out) == [(0.0, 0.0), (0.0, 0.02), (0.01, 0.0)]
+
+    def test_fresh_sets_across_queries(self):
+        points = uniform_points(200, 2, rng=5)
+        fair = FairNearNeighbor(points, radius=0.3, rng=6)
+        sets = {tuple(sorted(fair.sample_distinct((0.5, 0.5), 3))) for _ in range(10)}
+        assert len(sets) > 5

@@ -1,0 +1,148 @@
+"""Unit tests for the SampledTable facade (duplicates, predicates, weights)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.apps.table import SampledTable
+from repro.errors import BuildError, EmptyQueryError, SampleBudgetExceededError
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+
+
+def make_rows(n=200, seed=1):
+    rng = random.Random(seed)
+    return [
+        {
+            "id": i,
+            "price": rng.randint(1, 20),  # heavy duplication
+            "stars": rng.choice([1, 2, 3, 4, 5]),
+            "popularity": 1.0 + rng.random() * 9.0,
+        }
+        for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            SampledTable([])
+
+    def test_unknown_column_rejected(self):
+        table = SampledTable(make_rows())
+        with pytest.raises(BuildError):
+            table.create_index("nope")
+
+    def test_unknown_weight_column_rejected(self):
+        table = SampledTable(make_rows())
+        with pytest.raises(BuildError):
+            table.create_index("price", weight_column="nope")
+
+    def test_query_without_index_rejected(self):
+        table = SampledTable(make_rows())
+        with pytest.raises(BuildError):
+            table.sample_where("price", 1, 10, 5)
+
+
+class TestSampling:
+    def test_samples_satisfy_range(self):
+        table = SampledTable(make_rows(), rng=2)
+        table.create_index("price")
+        for row in table.sample_where("price", 5, 12, 50):
+            assert 5 <= row["price"] <= 12
+
+    def test_empty_range_raises(self):
+        table = SampledTable(make_rows(), rng=3)
+        table.create_index("price")
+        with pytest.raises(EmptyQueryError):
+            table.sample_where("price", 100, 200, 1)
+
+    def test_duplicate_values_rows_all_reachable(self):
+        rows = [{"k": 7, "id": i} for i in range(10)]
+        table = SampledTable(rows, rng=4)
+        table.create_index("k")
+        seen = {row["id"] for row in table.sample_where("k", 7, 7, 300)}
+        assert seen == set(range(10))
+
+    def test_uniform_over_duplicated_rows(self):
+        rows = [{"k": i % 3, "id": i} for i in range(12)]
+        table = SampledTable(rows, rng=5)
+        table.create_index("k")
+        samples = [row["id"] for row in table.sample_where("k", 0, 0, 20_000)]
+        target = {identifier: 1.0 for identifier in (0, 3, 6, 9)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_count_where(self):
+        rows = make_rows()
+        table = SampledTable(rows, rng=6)
+        table.create_index("price")
+        expected = sum(1 for row in rows if 5 <= row["price"] <= 12)
+        assert table.count_where("price", 5, 12) == expected
+
+    def test_weighted_sampling(self):
+        rows = [
+            {"k": 1, "id": "light", "w": 1.0},
+            {"k": 2, "id": "heavy", "w": 9.0},
+        ]
+        table = SampledTable(rows, rng=7)
+        table.create_index("k", weight_column="w")
+        samples = [
+            row["id"] for row in table.sample_where("k", 1, 2, 20_000, weight_column="w")
+        ]
+        assert chi_square_weighted_pvalue(samples, {"light": 1.0, "heavy": 9.0}) > ALPHA
+
+
+class TestPredicates:
+    def test_where_filter_honoured(self):
+        table = SampledTable(make_rows(), rng=8)
+        table.create_index("price")
+        rows = table.sample_where(
+            "price", 1, 20, 40, where=lambda row: row["stars"] >= 4
+        )
+        assert all(row["stars"] >= 4 for row in rows)
+
+    def test_impossible_predicate_hits_budget(self):
+        table = SampledTable(make_rows(), rng=9)
+        table.create_index("price")
+        with pytest.raises(SampleBudgetExceededError):
+            table.sample_where(
+                "price", 1, 20, 2, where=lambda row: False, max_rejects_per_sample=10
+            )
+
+    def test_predicate_distribution_is_conditional(self):
+        rows = [{"k": 1, "id": i, "keep": i % 2 == 0} for i in range(10)]
+        table = SampledTable(rows, rng=10)
+        table.create_index("k")
+        samples = [
+            row["id"]
+            for row in table.sample_where("k", 1, 1, 10_000, where=lambda r: r["keep"])
+        ]
+        target = {identifier: 1.0 for identifier in range(0, 10, 2)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+
+class TestEstimation:
+    def test_estimate_fraction(self):
+        rows = make_rows(2000, seed=11)
+        table = SampledTable(rows, rng=12)
+        table.create_index("price")
+        in_range = [row for row in rows if 5 <= row["price"] <= 15]
+        truth = sum(1 for row in in_range if row["stars"] >= 4) / len(in_range)
+        estimate = table.estimate_fraction_where(
+            "price", 5, 15, lambda row: row["stars"] >= 4, epsilon=0.05, delta=0.01
+        )
+        assert abs(estimate - truth) <= 0.08  # ε plus slack
+
+    def test_repeated_estimates_vary(self):
+        # Cross-query independence: two estimates differ (fresh samples).
+        table = SampledTable(make_rows(500, seed=13), rng=14)
+        table.create_index("price")
+        values = {
+            table.estimate_fraction_where(
+                "price", 1, 20, lambda row: row["stars"] >= 3, epsilon=0.1, delta=0.2
+            )
+            for _ in range(5)
+        }
+        assert len(values) > 1

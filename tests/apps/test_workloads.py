@@ -1,0 +1,97 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.apps.workloads import (
+    clustered_points,
+    distinct_uniform_reals,
+    interval_with_selectivity,
+    overlapping_sets,
+    skewed_set_family,
+    uniform_points,
+    zipf_weights,
+)
+from repro.errors import BuildError
+
+
+class TestValueGenerators:
+    def test_distinct_uniform_reals(self):
+        values = distinct_uniform_reals(500, rng=1)
+        assert len(values) == 500
+        assert len(set(values)) == 500
+        assert values == sorted(values)
+        assert all(0.0 <= value < 1.0 for value in values)
+
+    def test_custom_interval(self):
+        values = distinct_uniform_reals(100, lo=-5.0, hi=5.0, rng=2)
+        assert all(-5.0 <= value < 5.0 for value in values)
+
+    def test_zero_rejected(self):
+        with pytest.raises(BuildError):
+            distinct_uniform_reals(0)
+
+    def test_zipf_weights_positive_and_skewed(self):
+        weights = zipf_weights(1000, alpha=1.0, rng=3)
+        assert all(weight > 0 for weight in weights)
+        assert max(weights) / min(weights) == pytest.approx(1000.0)
+
+    def test_zipf_alpha_zero_is_uniform(self):
+        weights = zipf_weights(10, alpha=0.0, rng=4)
+        assert all(weight == 1.0 for weight in weights)
+
+
+class TestPointGenerators:
+    def test_uniform_points_shape(self):
+        points = uniform_points(50, 3, rng=5)
+        assert len(points) == 50
+        assert all(len(point) == 3 for point in points)
+
+    def test_clustered_points_cluster_tightness(self):
+        points = clustered_points(200, 2, clusters=1, spread=0.01, rng=6)
+        xs = [point[0] for point in points]
+        assert max(xs) - min(xs) < 0.2  # all near one center
+
+    def test_clustered_validation(self):
+        with pytest.raises(BuildError):
+            clustered_points(10, clusters=0)
+
+
+class TestQueryGenerators:
+    def test_interval_selectivity(self):
+        keys = [float(i) for i in range(1000)]
+        x, y = interval_with_selectivity(keys, 0.1, rng=7)
+        covered = sum(1 for key in keys if x <= key <= y)
+        assert covered == 100
+
+    def test_full_selectivity(self):
+        keys = [float(i) for i in range(10)]
+        x, y = interval_with_selectivity(keys, 1.0, rng=8)
+        assert (x, y) == (0.0, 9.0)
+
+    def test_bad_selectivity_rejected(self):
+        with pytest.raises(BuildError):
+            interval_with_selectivity([1.0], 0.0)
+
+
+class TestSetFamilies:
+    def test_overlapping_sets_shape(self):
+        family = overlapping_sets(5, 40, 100, rng=9)
+        assert len(family) == 5
+        assert all(len(subset) == 40 for subset in family)
+        assert all(
+            all(0 <= element < 100 for element in subset) for subset in family
+        )
+
+    def test_sets_have_distinct_members(self):
+        family = overlapping_sets(3, 30, 50, rng=10)
+        assert all(len(set(subset)) == 30 for subset in family)
+
+    def test_oversized_set_rejected(self):
+        with pytest.raises(BuildError):
+            overlapping_sets(2, 200, 100)
+
+    def test_skewed_family_sizes_decrease(self):
+        family = skewed_set_family(10, 500, rng=11)
+        sizes = [len(subset) for subset in family]
+        assert sizes[0] > sizes[-1]
+        assert sizes[-1] >= 1

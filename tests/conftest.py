@@ -1,0 +1,30 @@
+"""Shared pytest fixtures.
+
+Statistical tests in this suite use fixed seeds and a very small
+significance level (ALPHA) so they are deterministic and non-flaky: a
+correct sampler fails a chi-square check with probability ~1e-6, and under
+a fixed seed the outcome never changes between runs anyway.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the suite from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+ALPHA = 1e-6
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def alpha():
+    return ALPHA

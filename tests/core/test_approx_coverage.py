@@ -1,0 +1,166 @@
+"""Unit tests for approximate coverage (paper §6, Theorem 6, Corollary 7)."""
+
+import pytest
+
+from repro.core.approx_coverage import (
+    ApproxCoverSampler,
+    ComplementRangeIndex,
+    PrecomputedCoverSampler,
+)
+from repro.errors import BuildError, EmptyQueryError
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+
+
+def keys_n(n):
+    return [float(i) for i in range(n)]
+
+
+class TestComplementRangeIndex:
+    def test_counts(self):
+        index = ComplementRangeIndex(keys_n(10))
+        below, above = index.complement_counts((3.0, 6.0))
+        assert (below, above) == (3, 3)
+
+    def test_cover_spans_contain_complement(self):
+        index = ComplementRangeIndex(keys_n(100))
+        cover = index.find_approximate_cover((10.0, 90.0))
+        covered = set()
+        for lo, hi in cover.spans:
+            covered.update(range(lo, hi))
+        complement = set(range(0, 10)) | set(range(91, 100))
+        assert complement <= covered
+
+    def test_cover_size_at_most_two(self):
+        index = ComplementRangeIndex(keys_n(1 << 10))
+        for query in [(1.0, 1000.0), (100.0, 200.0), (0.5, 512.0), (-5.0, 500.0)]:
+            cover = index.find_approximate_cover(query)
+            assert len(cover.spans) <= 2
+
+    def test_cover_at_most_factor_two_oversized(self):
+        index = ComplementRangeIndex(keys_n(256))
+        for query in [(3.0, 250.0), (17.0, 240.0), (100.0, 130.0)]:
+            below, above = index.complement_counts(query)
+            cover = index.find_approximate_cover(query)
+            union = sum(hi - lo for lo, hi in cover.spans)
+            assert union <= 2 * (below + above)
+
+    def test_empty_complement_gives_empty_cover(self):
+        index = ComplementRangeIndex(keys_n(10))
+        cover = index.find_approximate_cover((-1.0, 100.0))
+        assert cover.spans == ()
+
+    def test_overlapping_dyadics_merge_to_full(self):
+        # below = 6 → prefix 8; above = 10 → suffix 16; 8 + 16 > 16 so the
+        # spans would overlap and must merge into the full array.
+        index = ComplementRangeIndex(keys_n(16))
+        cover = index.find_approximate_cover((5.5, 5.6))
+        assert cover.spans == ((0, 16),)
+
+    def test_abutting_dyadics_stay_disjoint(self):
+        # below = above = 8 → two size-8 dyadic spans tile the array exactly.
+        index = ComplementRangeIndex(keys_n(16))
+        cover = index.find_approximate_cover((7.5, 7.6))
+        assert cover.spans == ((0, 8), (8, 16))
+
+    def test_exact_cover_size_is_larger(self):
+        index = ComplementRangeIndex(keys_n(1 << 12))
+        query = (1000.0, 3000.0)
+        approx = len(index.find_approximate_cover(query).spans)
+        exact = index.find_exact_cover_size(query)
+        assert approx <= 2
+        assert exact > 6  # Θ(log n) dyadic pieces
+
+    def test_matches_predicate(self):
+        index = ComplementRangeIndex(keys_n(10))
+        assert index.matches((3.0, 6.0), 2)
+        assert index.matches((3.0, 6.0), 7)
+        assert not index.matches((3.0, 6.0), 4)
+
+    def test_distinct_cover_enumeration_contains_all_query_covers(self):
+        index = ComplementRangeIndex(keys_n(100))
+        enumerated = {cover.key for cover in index.iter_distinct_covers()}
+        for x in [0.5, 10.0, 33.0, 50.0, 99.0]:
+            for y in [x, x + 5, x + 40, 99.0]:
+                cover = index.find_approximate_cover((x, y))
+                if cover.spans:
+                    assert cover.key in enumerated
+
+    def test_unsorted_keys_rejected(self):
+        with pytest.raises(BuildError):
+            ComplementRangeIndex([3.0, 1.0])
+
+
+class TestApproxCoverSampler:
+    def test_samples_satisfy_complement(self):
+        index = ComplementRangeIndex(keys_n(200))
+        sampler = ApproxCoverSampler(index, rng=1)
+        out = sampler.sample((50.0, 150.0), 300)
+        assert all(v < 50.0 or v > 150.0 for v in out)
+
+    def test_empty_complement_raises(self):
+        index = ComplementRangeIndex(keys_n(10))
+        sampler = ApproxCoverSampler(index, rng=1)
+        with pytest.raises(EmptyQueryError):
+            sampler.sample((-1.0, 100.0), 1)
+
+    def test_uniform_distribution_over_complement(self):
+        index = ComplementRangeIndex(keys_n(40))
+        sampler = ApproxCoverSampler(index, rng=2)
+        samples = sampler.sample((10.0, 29.0), 40_000)
+        target = {float(i): 1.0 for i in list(range(10)) + list(range(30, 40))}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_weighted_distribution_over_complement(self):
+        weights = [float(i % 4 + 1) for i in range(30)]
+        index = ComplementRangeIndex(keys_n(30), weights)
+        sampler = ApproxCoverSampler(index, rng=3)
+        samples = sampler.sample((5.0, 24.0), 40_000)
+        target = {
+            float(i): weights[i] for i in list(range(5)) + list(range(25, 30))
+        }
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_rejection_rate_is_constant(self):
+        index = ComplementRangeIndex(keys_n(1 << 12))
+        sampler = ApproxCoverSampler(index, rng=4)
+        draws = 2000
+        sampler.sample((100.0, 4000.0), draws)
+        # Acceptance ≥ 1/2 ⇒ expect < 1 rejection per accepted sample.
+        assert sampler.total_rejections < 2 * draws
+
+    def test_one_sided_complement(self):
+        index = ComplementRangeIndex(keys_n(64))
+        sampler = ApproxCoverSampler(index, rng=5)
+        out = sampler.sample((-10.0, 40.0), 100)  # only the suffix survives
+        assert all(v > 40.0 for v in out)
+
+
+class TestPrecomputedCoverSampler:
+    def test_matches_on_the_fly_distribution(self):
+        index = ComplementRangeIndex(keys_n(32))
+        precomputed = PrecomputedCoverSampler(index, rng=6)
+        samples = precomputed.sample((8.0, 23.0), 30_000)
+        target = {float(i): 1.0 for i in list(range(8)) + list(range(24, 32))}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_space_is_polylog(self):
+        index = ComplementRangeIndex(keys_n(1 << 12))
+        precomputed = PrecomputedCoverSampler(index, rng=7)
+        # O(log² n) covers of ≤ 2 spans each.
+        assert precomputed.precomputed_space <= 2 * (14 * 14)
+
+    def test_requires_enumerable_covers(self):
+        class NoEnum:
+            leaf_items = [1.0]
+            leaf_weights = [1.0]
+
+            def find_approximate_cover(self, query):
+                raise NotImplementedError
+
+            def matches(self, query, position):
+                raise NotImplementedError
+
+        with pytest.raises(BuildError):
+            PrecomputedCoverSampler(NoEnum())

@@ -1,0 +1,100 @@
+"""Unit tests for ε-approximate IQS (§9, Direction 4)."""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.core.approximate import ApproximateDynamicSampler
+from repro.errors import BuildError, EmptyQueryError, InvalidWeightError
+
+
+class TestContracts:
+    def test_bad_epsilon_rejected(self):
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(BuildError):
+                ApproximateDynamicSampler(epsilon=bad)
+
+    def test_empty_sampler_raises(self):
+        with pytest.raises(EmptyQueryError):
+            ApproximateDynamicSampler(rng=1).sample()
+
+    def test_bad_weight_rejected(self):
+        sampler = ApproximateDynamicSampler(rng=1)
+        with pytest.raises(InvalidWeightError):
+            sampler.insert("x", 0.0)
+
+    def test_insert_delete_roundtrip(self):
+        sampler = ApproximateDynamicSampler(rng=2)
+        handle = sampler.insert("a", 3.0)
+        sampler.insert("b", 5.0)
+        assert sampler.delete(handle) == "a"
+        assert len(sampler) == 1
+        assert sampler.sample() == "b"
+
+    def test_double_delete_raises(self):
+        sampler = ApproximateDynamicSampler(rng=2)
+        handle = sampler.insert("a", 3.0)
+        sampler.delete(handle)
+        with pytest.raises(KeyError):
+            sampler.delete(handle)
+
+
+class TestQuantization:
+    def test_quantized_weight_within_factor(self):
+        epsilon = 0.2
+        sampler = ApproximateDynamicSampler(epsilon=epsilon, rng=3)
+        for weight in (0.001, 0.5, 1.0, 7.3, 1e6):
+            handle = sampler.insert("x", weight)
+            quantized = sampler.quantized_weight(handle)
+            ratio = quantized / weight
+            half = math.sqrt(1 + epsilon)
+            assert 1 / half <= ratio <= half
+
+    def test_class_count_bounded(self):
+        sampler = ApproximateDynamicSampler(epsilon=0.1, rng=4)
+        for index in range(1000):
+            sampler.insert(index, 1.0 + (index % 50))
+        # Weight ratio 50 → ≤ log_{1.1}(50) + 1 ≈ 42 classes.
+        assert sampler.class_count <= 43
+
+    def test_equal_weights_single_class(self):
+        sampler = ApproximateDynamicSampler(epsilon=0.5, rng=5)
+        for index in range(20):
+            sampler.insert(index, 2.0)
+        assert sampler.class_count == 1
+
+
+class TestDistribution:
+    def test_probabilities_within_epsilon(self):
+        epsilon = 0.15
+        weights = {"a": 1.0, "b": 2.0, "c": 5.0, "d": 11.0}
+        sampler = ApproximateDynamicSampler(epsilon=epsilon, rng=6)
+        for item, weight in weights.items():
+            sampler.insert(item, weight)
+        draws = 200_000
+        counts = Counter(sampler.sample_many(draws))
+        total = sum(weights.values())
+        for item, weight in weights.items():
+            target = weight / total
+            observed = counts[item] / draws
+            # Allow the ε bound plus 5σ sampling noise.
+            sigma = math.sqrt(target * (1 - target) / draws)
+            assert observed >= target / (1 + epsilon) - 5 * sigma
+            assert observed <= target * (1 + epsilon) + 5 * sigma
+
+    def test_probability_bounds_helper(self):
+        sampler = ApproximateDynamicSampler(epsilon=0.1, rng=7)
+        handle = sampler.insert("x", 3.0)
+        sampler.insert("y", 7.0)
+        lower, upper = sampler.probability_bounds(handle, 10.0)
+        assert lower <= 0.3 <= upper
+
+    def test_updates_shift_distribution(self):
+        sampler = ApproximateDynamicSampler(epsilon=0.1, rng=8)
+        handle_a = sampler.insert("a", 1.0)
+        sampler.insert("b", 1.0)
+        sampler.delete(handle_a)
+        sampler.insert("a", 100.0)
+        counts = Counter(sampler.sample_many(2000))
+        assert counts["a"] > 1900

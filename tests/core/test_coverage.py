@@ -1,0 +1,153 @@
+"""Unit tests for the Theorem-5 coverage sampler over all four indexes."""
+
+import pytest
+
+from repro.apps.workloads import uniform_points, zipf_weights
+from repro.core.coverage import BSTIndex, CoverageSampler
+from repro.errors import BuildError, EmptyQueryError
+from repro.stats.tests import chi_square_weighted_pvalue
+from repro.substrates.kdtree import KDTree
+from repro.substrates.quadtree import QuadTree
+from repro.substrates.rangetree import RangeTree
+
+ALPHA = 1e-6
+
+
+def brute_force_rect(points, rect):
+    return [
+        p
+        for p in points
+        if all(lo <= c <= hi for (lo, hi), c in zip(rect, p))
+    ]
+
+
+class TestBSTIndexCoverage:
+    def test_samples_in_range(self):
+        index = BSTIndex([float(i) for i in range(100)])
+        sampler = CoverageSampler(index, rng=1)
+        out = sampler.sample((20.0, 70.0), 100)
+        assert all(20.0 <= v <= 70.0 for v in out)
+
+    def test_empty_query_raises(self):
+        index = BSTIndex([float(i) for i in range(10)])
+        sampler = CoverageSampler(index, rng=1)
+        with pytest.raises(EmptyQueryError):
+            sampler.sample((100.0, 200.0), 1)
+
+    def test_cover_size_logarithmic(self):
+        index = BSTIndex([float(i) for i in range(1 << 12)])
+        sampler = CoverageSampler(index, rng=1)
+        assert sampler.cover_size((1.0, 4000.0)) <= 2 * 12
+
+    def test_weighted_distribution(self):
+        keys = [float(i) for i in range(6)]
+        weights = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        index = BSTIndex(keys, weights)
+        sampler = CoverageSampler(index, rng=2)
+        samples = sampler.sample((1.0, 4.0), 30_000)
+        target = {1.0: 2.0, 2.0: 3.0, 3.0: 4.0, 4.0: 5.0}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+
+@pytest.mark.parametrize("index_cls", [KDTree, QuadTree])
+class TestSpatialCoverage:
+    def test_result_size_matches_brute_force(self, index_cls):
+        points = uniform_points(400, 2, rng=3)
+        index = index_cls(points, leaf_size=4)
+        sampler = CoverageSampler(index, rng=4)
+        rect = [(0.1, 0.6), (0.3, 0.9)]
+        assert sampler.result_size(rect) == len(brute_force_rect(points, rect))
+
+    def test_samples_satisfy_query(self, index_cls):
+        points = uniform_points(400, 2, rng=3)
+        index = index_cls(points, leaf_size=4)
+        sampler = CoverageSampler(index, rng=5)
+        rect = [(0.2, 0.8), (0.2, 0.8)]
+        for point in sampler.sample(rect, 200):
+            assert 0.2 <= point[0] <= 0.8 and 0.2 <= point[1] <= 0.8
+
+    def test_uniformity_over_result(self, index_cls):
+        points = uniform_points(60, 2, rng=6)
+        index = index_cls(points, leaf_size=2)
+        sampler = CoverageSampler(index, rng=7)
+        rect = [(0.0, 1.0), (0.0, 1.0)]
+        samples = sampler.sample(rect, 30_000)
+        target = {p: 1.0 for p in index.leaf_items}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_empty_rect_raises(self, index_cls):
+        points = uniform_points(50, 2, rng=8)
+        index = index_cls(points, leaf_size=4)
+        sampler = CoverageSampler(index, rng=9)
+        with pytest.raises(EmptyQueryError):
+            sampler.sample([(5.0, 6.0), (5.0, 6.0)], 1)
+
+
+class TestRangeTreeCoverage:
+    def test_result_size_matches_brute_force(self):
+        points = uniform_points(300, 2, rng=10)
+        index = RangeTree(points)
+        sampler = CoverageSampler(index, rng=11)
+        rect = [(0.25, 0.75), (0.1, 0.5)]
+        assert sampler.result_size(rect) == len(brute_force_rect(points, rect))
+
+    def test_three_dimensional(self):
+        points = uniform_points(200, 3, rng=12)
+        index = RangeTree(points)
+        sampler = CoverageSampler(index, rng=13)
+        rect = [(0.1, 0.9), (0.2, 0.8), (0.0, 0.7)]
+        expected = brute_force_rect(points, rect)
+        assert sampler.result_size(rect) == len(expected)
+        for point in sampler.sample(rect, 50):
+            assert point in expected
+
+    def test_weighted_distribution(self):
+        points = [(float(i), float(i % 3)) for i in range(9)]
+        weights = [float(i + 1) for i in range(9)]
+        index = RangeTree(points, weights)
+        sampler = CoverageSampler(index, rng=14)
+        rect = [(0.0, 8.0), (0.0, 2.0)]  # everything
+        samples = sampler.sample(rect, 30_000)
+        target = {points[i]: weights[i] for i in range(9)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_cover_size_polylog(self):
+        points = uniform_points(1 << 10, 2, rng=15)
+        index = RangeTree(points)
+        sampler = CoverageSampler(index, rng=16)
+        rect = [(0.2, 0.8), (0.2, 0.8)]
+        # 2D range tree: O(log n) spans (one contiguous run per primary
+        # canonical node).
+        assert sampler.cover_size(rect) <= 3 * 10
+
+
+class TestBackends:
+    def test_alias_backend_matches_chunked(self):
+        points = uniform_points(200, 2, rng=17)
+        weights = zipf_weights(200, rng=18)
+        index = KDTree(points, weights, leaf_size=4)
+        chunked = CoverageSampler(index, backend="chunked", rng=19)
+        alias = CoverageSampler(index, backend="alias", rng=19)
+        rect = [(0.0, 1.0), (0.0, 1.0)]
+        target = {p: w for p, w in zip(index.leaf_items, index.leaf_weights)}
+        assert chi_square_weighted_pvalue(chunked.sample(rect, 20_000), target) > ALPHA
+        assert chi_square_weighted_pvalue(alias.sample(rect, 20_000), target) > ALPHA
+
+    def test_uniform_backend_requires_equal_weights(self):
+        points = uniform_points(50, 2, rng=20)
+        index = KDTree(points, zipf_weights(50, rng=21), leaf_size=4)
+        with pytest.raises(BuildError):
+            CoverageSampler(index, backend="uniform")
+
+    def test_unknown_backend_rejected(self):
+        index = BSTIndex([1.0, 2.0])
+        with pytest.raises(BuildError):
+            CoverageSampler(index, backend="wat")
+
+    def test_auto_picks_uniform_for_equal_weights(self):
+        index = BSTIndex([1.0, 2.0, 3.0])
+        assert CoverageSampler(index).backend == "uniform"
+
+    def test_auto_picks_chunked_for_skewed_weights(self):
+        index = BSTIndex([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert CoverageSampler(index).backend == "chunked"

@@ -1,0 +1,129 @@
+"""Unit tests for the dynamic samplers (paper §9, Direction 1)."""
+
+import pytest
+
+from repro.core.dynamic import BucketDynamicSampler, FenwickDynamicSampler
+from repro.errors import EmptyQueryError, InvalidWeightError
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+
+SAMPLERS = [FenwickDynamicSampler, BucketDynamicSampler]
+
+
+@pytest.mark.parametrize("sampler_cls", SAMPLERS)
+class TestBasics:
+    def test_empty_sampler_raises(self, sampler_cls):
+        with pytest.raises(EmptyQueryError):
+            sampler_cls(rng=1).sample()
+
+    def test_insert_then_sample(self, sampler_cls):
+        sampler = sampler_cls(rng=1)
+        sampler.insert("only", 2.0)
+        assert sampler.sample() == "only"
+        assert len(sampler) == 1
+
+    def test_bad_weight_rejected(self, sampler_cls):
+        sampler = sampler_cls(rng=1)
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(InvalidWeightError):
+                sampler.insert("x", bad)
+
+    def test_delete_removes_element(self, sampler_cls):
+        sampler = sampler_cls(rng=2)
+        handle_a = sampler.insert("a", 1.0)
+        sampler.insert("b", 1.0)
+        assert sampler.delete(handle_a) == "a"
+        assert len(sampler) == 1
+        assert all(sampler.sample() == "b" for _ in range(20))
+
+    def test_delete_unknown_handle_raises(self, sampler_cls):
+        sampler = sampler_cls(rng=2)
+        sampler.insert("a", 1.0)
+        with pytest.raises(KeyError):
+            sampler.delete(12345)
+
+    def test_double_delete_raises(self, sampler_cls):
+        sampler = sampler_cls(rng=2)
+        handle = sampler.insert("a", 1.0)
+        sampler.insert("b", 1.0)
+        sampler.delete(handle)
+        with pytest.raises(KeyError):
+            sampler.delete(handle)
+
+    def test_update_weight_changes_distribution(self, sampler_cls):
+        sampler = sampler_cls(rng=3)
+        handle_a = sampler.insert("a", 1.0)
+        sampler.insert("b", 1.0)
+        sampler.update_weight(handle_a, 9.0)
+        samples = sampler.sample_many(20_000)
+        assert chi_square_weighted_pvalue(samples, {"a": 9.0, "b": 1.0}) > ALPHA
+
+    def test_total_weight_tracks_operations(self, sampler_cls):
+        sampler = sampler_cls(rng=4)
+        handle = sampler.insert("a", 2.0)
+        sampler.insert("b", 3.0)
+        assert sampler.total_weight == pytest.approx(5.0)
+        sampler.update_weight(handle, 4.0)
+        assert sampler.total_weight == pytest.approx(7.0)
+        sampler.delete(handle)
+        assert sampler.total_weight == pytest.approx(3.0)
+
+    def test_distribution_after_churn(self, sampler_cls):
+        # Insert 30, delete half, update some — final distribution must
+        # match the surviving weights exactly.
+        sampler = sampler_cls(rng=5)
+        handles = {}
+        for index in range(30):
+            handles[index] = sampler.insert(index, float(index % 5 + 1))
+        survivors = {}
+        for index in range(30):
+            if index % 2 == 0:
+                sampler.delete(handles[index])
+            else:
+                survivors[index] = float(index % 5 + 1)
+        for index in list(survivors)[:5]:
+            sampler.update_weight(handles[index], 10.0)
+            survivors[index] = 10.0
+        samples = sampler.sample_many(40_000)
+        assert chi_square_weighted_pvalue(samples, survivors) > ALPHA
+
+    def test_reinsert_after_empty(self, sampler_cls):
+        sampler = sampler_cls(rng=6)
+        handle = sampler.insert("a", 1.0)
+        sampler.delete(handle)
+        with pytest.raises(EmptyQueryError):
+            sampler.sample()
+        sampler.insert("b", 1.0)
+        assert sampler.sample() == "b"
+
+    def test_many_inserts_trigger_growth(self, sampler_cls):
+        sampler = sampler_cls(rng=7)
+        for index in range(200):
+            sampler.insert(index, 1.0)
+        assert len(sampler) == 200
+        assert 0 <= sampler.sample() < 200
+
+
+class TestFenwickSpecifics:
+    def test_slots_are_reused(self):
+        sampler = FenwickDynamicSampler(rng=8, initial_capacity=4)
+        handles = [sampler.insert(i, 1.0) for i in range(4)]
+        sampler.delete(handles[2])
+        new_handle = sampler.insert("new", 1.0)
+        assert new_handle == handles[2]
+
+
+class TestBucketSpecifics:
+    def test_bucket_count_logarithmic(self):
+        sampler = BucketDynamicSampler(rng=9)
+        for index in range(100):
+            sampler.insert(index, float(2 ** (index % 10)))
+        assert sampler.bucket_count <= 10
+
+    def test_extreme_weight_ratio(self):
+        sampler = BucketDynamicSampler(rng=10)
+        sampler.insert("tiny", 1e-9)
+        sampler.insert("huge", 1e9)
+        samples = sampler.sample_many(1000)
+        assert samples.count("huge") >= 999  # tiny has probability 1e-18

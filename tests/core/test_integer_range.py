@@ -1,0 +1,76 @@
+"""Unit tests for integer-domain range sampling (§4.3, Afshani–Wei)."""
+
+import random
+
+import pytest
+
+from repro.core.integer_range import IntegerRangeSampler
+from repro.errors import BuildError, EmptyQueryError
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+
+
+class TestContracts:
+    def test_non_integer_keys_rejected(self):
+        with pytest.raises(BuildError):
+            IntegerRangeSampler([1.5, 2.5])
+
+    def test_bool_keys_rejected(self):
+        with pytest.raises(BuildError):
+            IntegerRangeSampler([True, False])
+
+    def test_empty_query_raises(self):
+        sampler = IntegerRangeSampler([1, 5, 9], rng=1)
+        with pytest.raises(EmptyQueryError):
+            sampler.sample(6, 8, 1)
+
+    def test_samples_in_range(self):
+        keys = sorted(random.Random(1).sample(range(100_000), 500))
+        sampler = IntegerRangeSampler(keys, rng=2)
+        x, y = keys[100], keys[400]
+        out = sampler.sample(x, y, 100)
+        assert all(x <= value <= y for value in out)
+        assert all(isinstance(value, int) for value in out)
+
+    def test_span_uses_predecessor_structure(self):
+        keys = [10, 20, 30, 40]
+        sampler = IntegerRangeSampler(keys, rng=3)
+        assert sampler.span_of(15, 35) == (1, 3)
+        assert sampler.span_of(10, 40) == (0, 4)
+        assert sampler.span_of(41, 99) == (0, 0)
+
+
+class TestDistribution:
+    def test_uniform(self):
+        keys = list(range(0, 160, 2))
+        sampler = IntegerRangeSampler(keys, rng=4)
+        samples = sampler.sample(10, 100, 30_000)
+        target = {key: 1.0 for key in keys if 10 <= key <= 100}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_weighted(self):
+        keys = list(range(8))
+        weights = [float(i + 1) for i in range(8)]
+        sampler = IntegerRangeSampler(keys, weights, rng=5)
+        samples = sampler.sample(2, 6, 30_000)
+        target = {key: weights[key] for key in range(2, 7)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_matches_float_sampler(self):
+        from repro.core.range_sampler import ChunkedRangeSampler
+
+        keys = sorted(random.Random(6).sample(range(10_000), 200))
+        integer = IntegerRangeSampler(keys, rng=7)
+        floating = ChunkedRangeSampler([float(k) for k in keys], rng=7)
+        x, y = keys[30], keys[170]
+        assert integer.span_of(x, y) == floating.span_of(float(x), float(y))
+
+
+class TestSpace:
+    def test_space_linear(self):
+        small = IntegerRangeSampler(list(range(0, 2_000, 2)), rng=8)
+        large = IntegerRangeSampler(list(range(0, 32_000, 2)), rng=9)
+        per_small = small.space_words() / len(small)
+        per_large = large.space_words() / len(large)
+        assert per_large < 2 * per_small  # O(n) total, flat per element

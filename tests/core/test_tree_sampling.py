@@ -1,0 +1,165 @@
+"""Unit tests for tree sampling (paper §3.2, §5, Proposition 1)."""
+
+import pytest
+
+from repro.core.tree_sampling import FlatTreeSampler, Tree, TreeSampler
+from repro.errors import BuildError, InvalidWeightError
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+
+
+def build_sample_tree():
+    """Root with three children; middle child has two leaf grandchildren."""
+    tree = Tree()
+    root = tree.add_root()
+    tree.add_child(root, weight=1.0, payload="a")
+    middle = tree.add_child(root)
+    tree.add_child(middle, weight=2.0, payload="b")
+    tree.add_child(middle, weight=3.0, payload="c")
+    tree.add_child(root, weight=4.0, payload="d")
+    tree.finalize()
+    return tree
+
+
+class TestTreeConstruction:
+    def test_two_roots_rejected(self):
+        tree = Tree()
+        tree.add_root(weight=1.0)
+        with pytest.raises(BuildError):
+            tree.add_root(weight=1.0)
+
+    def test_unknown_parent_rejected(self):
+        tree = Tree()
+        tree.add_root()
+        with pytest.raises(BuildError):
+            tree.add_child(99, weight=1.0)
+
+    def test_finalize_requires_root(self):
+        with pytest.raises(BuildError):
+            Tree().finalize()
+
+    def test_leaf_without_weight_rejected(self):
+        tree = Tree()
+        root = tree.add_root()
+        tree.add_child(root)  # leaf with no weight
+        with pytest.raises(InvalidWeightError):
+            tree.finalize()
+
+    def test_add_after_finalize_rejected(self):
+        tree = Tree()
+        tree.add_root(weight=1.0)
+        tree.finalize()
+        with pytest.raises(BuildError):
+            tree.add_child(tree.root, weight=1.0)
+
+    def test_internal_weights_aggregate(self):
+        tree = build_sample_tree()
+        assert tree.weight(tree.root) == pytest.approx(10.0)
+        middle = tree.children(tree.root)[1]
+        assert tree.weight(middle) == pytest.approx(5.0)
+
+    def test_from_nested(self):
+        tree = Tree.from_nested([("a", 1.0), [("b", 2.0), ("c", 3.0)], ("d", 4.0)])
+        assert tree.weight(tree.root) == pytest.approx(10.0)
+        assert len(tree.leaves_in_dfs_order()) == 4
+
+    def test_single_leaf_tree(self):
+        tree = Tree()
+        tree.add_root(weight=5.0, payload="only")
+        tree.finalize()
+        sampler = TreeSampler(tree, rng=1)
+        assert sampler.sample(tree.root) == tree.root
+
+    def test_dfs_leaf_order_left_to_right(self):
+        tree = build_sample_tree()
+        payloads = [tree.payload(leaf) for leaf in tree.leaves_in_dfs_order()]
+        assert payloads == ["a", "b", "c", "d"]
+
+    def test_subtree_height(self):
+        tree = build_sample_tree()
+        assert tree.subtree_height(tree.root) == 2
+
+
+class TestTreeSampler:
+    def test_samples_are_subtree_leaves(self):
+        tree = build_sample_tree()
+        sampler = TreeSampler(tree, rng=2)
+        middle = tree.children(tree.root)[1]
+        leaves = {tree.payload(x) for x in sampler.sample_many(middle, 200)}
+        assert leaves == {"b", "c"}
+
+    def test_leaf_query_returns_leaf(self):
+        tree = build_sample_tree()
+        sampler = TreeSampler(tree, rng=2)
+        leaf = tree.children(tree.root)[0]
+        assert sampler.sample(leaf) == leaf
+
+    def test_root_distribution_matches_weights(self):
+        tree = build_sample_tree()
+        sampler = TreeSampler(tree, rng=3)
+        samples = [tree.payload(x) for x in sampler.sample_many(tree.root, 40_000)]
+        target = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_high_fanout_node(self):
+        tree = Tree()
+        root = tree.add_root()
+        for index in range(50):
+            tree.add_child(root, weight=float(index + 1), payload=index)
+        tree.finalize()
+        sampler = TreeSampler(tree, rng=4)
+        out = sampler.sample_many(root, 100)
+        assert all(tree.parent(x) == root for x in out)
+
+
+class TestFlatTreeSampler:
+    def test_spans_are_contiguous_and_nested(self):
+        tree = build_sample_tree()
+        flat = FlatTreeSampler(tree, rng=5)
+        root_span = flat.leaf_span(tree.root)
+        assert root_span == (0, 4)
+        middle = tree.children(tree.root)[1]
+        assert flat.leaf_span(middle) == (1, 3)
+
+    def test_subtree_samples_stay_in_subtree(self):
+        tree = build_sample_tree()
+        flat = FlatTreeSampler(tree, rng=6)
+        middle = tree.children(tree.root)[1]
+        leaves = {tree.payload(x) for x in flat.sample_many(middle, 200)}
+        assert leaves == {"b", "c"}
+
+    def test_distribution_matches_tree_sampler(self):
+        tree = build_sample_tree()
+        flat = FlatTreeSampler(tree, rng=7)
+        samples = [tree.payload(x) for x in flat.sample_many(tree.root, 40_000)]
+        target = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_uniform_fast_path_active(self):
+        tree = Tree.from_nested([("a", 1.0), ("b", 1.0), [("c", 1.0), ("d", 1.0)]])
+        flat = FlatTreeSampler(tree, rng=8)
+        assert flat.is_uniform
+
+    def test_uniform_fast_path_distribution(self):
+        tree = Tree.from_nested([("a", 1.0), ("b", 1.0), [("c", 1.0), ("d", 1.0)]])
+        flat = FlatTreeSampler(tree, rng=9)
+        samples = [tree.payload(x) for x in flat.sample_many(tree.root, 40_000)]
+        target = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_weighted_path_used_for_skewed_weights(self):
+        tree = build_sample_tree()
+        flat = FlatTreeSampler(tree, rng=10)
+        assert not flat.is_uniform
+
+    def test_deep_chain_tree(self):
+        # A path of unary internal nodes ending in one leaf.
+        tree = Tree()
+        node = tree.add_root()
+        for _ in range(30):
+            node = tree.add_child(node)
+        leaf = tree.add_child(node, weight=1.0, payload="deep")
+        tree.finalize()
+        flat = FlatTreeSampler(tree, rng=11)
+        assert flat.sample(tree.root) == leaf

@@ -1,0 +1,90 @@
+"""Unit tests for external arrays and the streaming writer (§8)."""
+
+import pytest
+
+from repro.em.array import ExternalArray, ExternalWriter
+from repro.em.model import EMMachine
+
+
+class TestExternalArray:
+    def test_from_list_roundtrip(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        array = ExternalArray.from_list(machine, list(range(11)))
+        assert array.to_list() == list(range(11))
+
+    def test_block_count(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        array = ExternalArray.from_list(machine, list(range(11)))
+        assert array.num_blocks == 3
+
+    def test_materialise_io_cost(self):
+        machine = EMMachine(block_size=8, memory_blocks=2)
+        ExternalArray.from_list(machine, list(range(64)))
+        machine.flush()
+        assert machine.stats.writes == 8  # ⌈64/8⌉ block writes
+
+    def test_scan_io_cost(self):
+        machine = EMMachine(block_size=8, memory_blocks=2)
+        array = ExternalArray.from_list(machine, list(range(64)))
+        machine.drop_cache()
+        start = machine.stats.reads
+        assert array.to_list() == list(range(64))
+        assert machine.stats.reads - start == 8
+
+    def test_get_set(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        array = ExternalArray.from_list(machine, [0] * 10)
+        array.set(7, "x")
+        assert array.get(7) == "x"
+
+    def test_out_of_range(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        array = ExternalArray.from_list(machine, [1, 2, 3])
+        with pytest.raises(IndexError):
+            array.get(3)
+        with pytest.raises(IndexError):
+            array.set(-1, 0)
+
+    def test_read_range_cross_block(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        array = ExternalArray.from_list(machine, list(range(20)))
+        assert array.read_range(2, 11) == list(range(2, 11))
+
+    def test_read_range_validation(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        array = ExternalArray.from_list(machine, list(range(8)))
+        with pytest.raises(IndexError):
+            array.read_range(5, 3)
+        with pytest.raises(IndexError):
+            array.read_range(0, 9)
+
+    def test_free_releases_blocks(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        array = ExternalArray.from_list(machine, list(range(8)))
+        array.free()
+        assert len(array) == 0
+
+    def test_empty_array(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        array = ExternalArray(machine, 0)
+        assert array.to_list() == []
+
+
+class TestExternalWriter:
+    def test_streaming_build(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        writer = ExternalWriter(machine)
+        writer.extend(range(10))
+        array = writer.finish()
+        assert array.to_list() == list(range(10))
+        assert len(array) == 10
+
+    def test_exact_block_multiple(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        writer = ExternalWriter(machine)
+        writer.extend(range(8))
+        assert writer.finish().num_blocks == 2
+
+    def test_empty_stream(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        assert ExternalWriter(machine).finish().to_list() == []

@@ -1,0 +1,97 @@
+"""Unit tests for the static B-tree substrate (§8)."""
+
+import math
+
+import pytest
+
+from repro.em.btree import StaticBTree
+from repro.em.model import EMMachine
+from repro.errors import BuildError
+
+
+def build(n, block_size=8, memory_blocks=4):
+    machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+    tree = StaticBTree(machine, [float(i) for i in range(n)])
+    return machine, tree
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            StaticBTree(EMMachine(), [])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(BuildError):
+            StaticBTree(EMMachine(), [2.0, 1.0])
+
+    def test_height_logarithmic(self):
+        _, tree = build(4096, block_size=16)
+        leaves = 4096 / 16
+        assert tree.height <= math.ceil(math.log(leaves, tree.fanout)) + 2
+
+    def test_single_leaf(self):
+        _, tree = build(5, block_size=8)
+        assert tree.height == 1
+        assert len(tree) == 5
+
+
+class TestCanonicalUnits:
+    def test_units_partition_range(self):
+        _, tree = build(500, block_size=16)
+        units = tree.canonical_units(37.0, 441.0)
+        covered = []
+        for _, lo, hi in units:
+            covered.extend(range(lo, hi))
+        assert covered == list(range(37, 442))
+
+    def test_empty_range(self):
+        _, tree = build(100)
+        assert tree.canonical_units(200.0, 300.0) == []
+        assert tree.canonical_units(5.0, 4.0) == []
+
+    def test_full_range_is_root(self):
+        _, tree = build(256, block_size=16)
+        units = tree.canonical_units(-1.0, 1000.0)
+        assert len(units) == 1
+        assert units[0][1:] == (0, 256)
+
+    def test_partial_leaves_marked(self):
+        _, tree = build(100, block_size=10)
+        units = tree.canonical_units(3.0, 97.0)
+        kinds = [ref[0] for ref, _, _ in units]
+        assert kinds[0] == "partial"
+        assert kinds[-1] == "partial"
+
+    def test_decomposition_io_logarithmic(self):
+        machine, tree = build(4096, block_size=16)
+        machine.drop_cache()
+        start = machine.stats.total
+        tree.canonical_units(100.0, 4000.0)
+        ios = machine.stats.total - start
+        # Only boundary paths are read: O(log_B n) + 2 partial leaves.
+        assert ios <= 4 * tree.height + 4
+
+    def test_span_of(self):
+        _, tree = build(200, block_size=8)
+        assert tree.span_of(10.0, 20.0) == (10, 21)
+        assert tree.span_of(500.0, 600.0) == (0, 0)
+
+
+class TestNodeAccess:
+    def test_read_leaf_values(self):
+        _, tree = build(20, block_size=8)
+        assert tree.read_leaf_values(0) == [float(i) for i in range(8)]
+        assert tree.read_leaf_values(2) == [16.0, 17.0, 18.0, 19.0]
+
+    def test_children_of_internal(self):
+        _, tree = build(512, block_size=16)
+        ref = tree.root_entry[2]
+        if ref[0] == "node":
+            children = tree.children_of(ref)
+            assert children[0][3] == 0
+            assert children[-1][4] == 512
+
+    def test_children_of_leaf_rejected(self):
+        _, tree = build(4, block_size=8)
+        with pytest.raises(BuildError):
+            tree.children_of(("leaf", 0))

@@ -1,0 +1,99 @@
+"""Unit tests for the EM range sampler with per-subtree pools (§8)."""
+
+import pytest
+
+from repro.em.em_range_sampler import EMRangeSampler
+from repro.em.model import EMMachine
+from repro.errors import BuildError, EmptyQueryError
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+
+
+def build(n, block_size=16, memory_blocks=4, rng=1):
+    machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+    sampler = EMRangeSampler(machine, [float(i) for i in range(n)], rng=rng)
+    return machine, sampler
+
+
+class TestContracts:
+    def test_tiny_block_rejected(self):
+        with pytest.raises(BuildError):
+            EMRangeSampler(EMMachine(block_size=1, memory_blocks=2), [1.0])
+
+    def test_empty_range_raises(self):
+        _, sampler = build(100)
+        with pytest.raises(EmptyQueryError):
+            sampler.query(500.0, 600.0, 1)
+
+    def test_samples_in_range(self):
+        _, sampler = build(500)
+        out = sampler.query(50.0, 450.0, 100)
+        assert len(out) == 100
+        assert all(50.0 <= value <= 450.0 for value in out)
+
+    def test_single_block_dataset(self):
+        _, sampler = build(8, block_size=16)
+        out = sampler.query(0.0, 7.0, 20)
+        assert all(0.0 <= value <= 7.0 for value in out)
+
+    def test_boundary_only_query(self):
+        _, sampler = build(100, block_size=16)
+        out = sampler.query(3.0, 5.0, 30)
+        assert set(out) <= {3.0, 4.0, 5.0}
+
+
+class TestDistribution:
+    def test_uniform_over_range(self):
+        _, sampler = build(32, block_size=8, rng=2)
+        samples = []
+        for _ in range(30):
+            samples.extend(sampler.query(4.0, 27.0, 1000))
+        target = {float(i): 1.0 for i in range(4, 28)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_pool_refills_preserve_distribution(self):
+        machine, sampler = build(64, block_size=8, rng=3)
+        initial = sampler.refill_count
+        samples = []
+        for _ in range(40):
+            samples.extend(sampler.query(0.0, 63.0, 200))
+        assert sampler.refill_count > initial  # pools cycled many times
+        target = {float(i): 1.0 for i in range(64)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+
+class TestIOEfficiency:
+    def test_amortized_beats_naive_on_wide_ranges(self):
+        n, s, B = 8192, 64, 64
+        machine, sampler = build(n, block_size=B, memory_blocks=8, rng=4)
+        # Warm-up to populate pools, then measure steady state.
+        for _ in range(3):
+            sampler.query(0.0, float(n - 1), s)
+        machine.drop_cache()
+        start = machine.stats.total
+        rounds = 10
+        for _ in range(rounds):
+            sampler.query(0.0, float(n - 1), s)
+        pool_ios = machine.stats.total - start
+
+        machine.drop_cache()
+        start = machine.stats.total
+        for _ in range(rounds):
+            sampler.naive_query(0.0, float(n - 1), s)
+        naive_ios = machine.stats.total - start
+        # Naive reads all n/B = 256 blocks per query; the pool structure
+        # touches O(log_B n + s/B) blocks amortised.
+        assert pool_ios < naive_ios / 4
+
+    def test_naive_io_scales_with_result_size(self):
+        machine, sampler = build(2048, block_size=16, memory_blocks=4, rng=5)
+        machine.drop_cache()
+        start = machine.stats.total
+        sampler.naive_query(0.0, 2047.0, 4)
+        wide_ios = machine.stats.total - start
+        machine.drop_cache()
+        start = machine.stats.total
+        sampler.naive_query(0.0, 63.0, 4)
+        narrow_ios = machine.stats.total - start
+        assert wide_ios > 10 * narrow_ios

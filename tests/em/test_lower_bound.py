@@ -1,0 +1,56 @@
+"""Unit tests for the §8 closed-form bounds."""
+
+import pytest
+
+from repro.em.lower_bound import (
+    sample_pool_amortized_ios,
+    set_sampling_lower_bound,
+    sort_bound_ios,
+)
+
+
+class TestSortBound:
+    def test_zero_input(self):
+        assert sort_bound_ios(0, 16, 64) == 0.0
+
+    def test_scales_with_n(self):
+        assert sort_bound_ios(1 << 16, 16, 64) > sort_bound_ios(1 << 12, 16, 64)
+
+    def test_log_capped_at_one(self):
+        # n ≤ B: the log term must clamp at 1, not go to 0 or negative.
+        assert sort_bound_ios(8, 16, 64) == pytest.approx(0.5)
+
+
+class TestLowerBound:
+    def test_zero_samples(self):
+        assert set_sampling_lower_bound(0, 1000, 16, 64) == 0.0
+
+    def test_small_s_linear_branch(self):
+        # With s tiny, s itself is the min.
+        bound = set_sampling_lower_bound(2, 1 << 20, 4, 16)
+        assert bound <= 2.0
+
+    def test_large_s_pool_branch(self):
+        n, B, M = 1 << 20, 64, 1 << 12
+        s = 1 << 15
+        bound = set_sampling_lower_bound(s, n, B, M)
+        assert bound < s  # the (s/B)·log term wins
+        assert bound == pytest.approx((s / B) * max(1.0, __import__("math").log(n / B, M / B)))
+
+    def test_monotone_in_s(self):
+        bounds = [set_sampling_lower_bound(s, 1 << 16, 16, 256) for s in (64, 256, 1024)]
+        assert bounds == sorted(bounds)
+
+
+class TestPoolModel:
+    def test_amortized_cost_below_linear(self):
+        n, B, M = 1 << 16, 64, 1 << 12
+        s = 4096
+        assert sample_pool_amortized_ios(s, n, B, M) < s
+
+    def test_zero_samples(self):
+        assert sample_pool_amortized_ios(0, 100, 8, 32) == 0.0
+
+    def test_dominated_by_read_cost_for_small_s(self):
+        cost = sample_pool_amortized_ios(8, 1 << 20, 64, 1 << 12)
+        assert cost >= 1.0  # at least one block read

@@ -1,0 +1,133 @@
+"""Unit tests for the simulated Aggarwal–Vitter machine (§8)."""
+
+import pytest
+
+from repro.em.model import EMMachine
+from repro.errors import ExternalMemoryError
+
+
+class TestParameters:
+    def test_model_constants(self):
+        machine = EMMachine(block_size=32, memory_blocks=4)
+        assert machine.B == 32
+        assert machine.M == 128
+
+    def test_memory_must_hold_two_blocks(self):
+        with pytest.raises(ExternalMemoryError):
+            EMMachine(block_size=8, memory_blocks=1)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ExternalMemoryError):
+            EMMachine(block_size=0)
+
+
+class TestAllocation:
+    def test_allocate_returns_fresh_ids(self):
+        machine = EMMachine()
+        first = machine.allocate_blocks(3)
+        second = machine.allocate_blocks(2)
+        assert len(set(first) | set(second)) == 5
+
+    def test_allocation_is_free(self):
+        machine = EMMachine()
+        machine.allocate_blocks(100)
+        assert machine.stats.total == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ExternalMemoryError):
+            EMMachine().allocate_blocks(-1)
+
+    def test_unallocated_read_rejected(self):
+        with pytest.raises(ExternalMemoryError):
+            EMMachine().read_block(0)
+
+    def test_free_blocks(self):
+        machine = EMMachine()
+        ids = machine.allocate_blocks(2)
+        machine.free_blocks(ids)
+        assert machine.allocated_blocks == 0
+
+
+class TestIOAccounting:
+    def test_cold_read_costs_one_io(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        (block,) = machine.allocate_blocks(1)
+        machine.read_block(block)
+        assert machine.stats.reads == 1
+
+    def test_cached_read_is_free(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        (block,) = machine.allocate_blocks(1)
+        machine.read_block(block)
+        machine.read_block(block)
+        machine.read_block(block)
+        assert machine.stats.reads == 1
+
+    def test_write_charged_on_eviction(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        blocks = machine.allocate_blocks(3)
+        machine.write_block(blocks[0], [1])
+        assert machine.stats.writes == 0  # still cached
+        machine.read_block(blocks[1])
+        machine.read_block(blocks[2])  # evicts the dirty frame
+        assert machine.stats.writes == 1
+
+    def test_flush_writes_dirty_frames(self):
+        machine = EMMachine(block_size=4, memory_blocks=4)
+        blocks = machine.allocate_blocks(2)
+        machine.write_block(blocks[0], [1])
+        machine.write_block(blocks[1], [2])
+        machine.flush()
+        assert machine.stats.writes == 2
+
+    def test_lru_eviction_order(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        blocks = machine.allocate_blocks(3)
+        machine.read_block(blocks[0])
+        machine.read_block(blocks[1])
+        machine.read_block(blocks[0])  # refresh block 0 (hit)
+        machine.read_block(blocks[2])  # must evict block 1, not block 0
+        machine.read_block(blocks[0])  # still resident → free
+        assert machine.stats.reads == 3
+        machine.read_block(blocks[1])  # was evicted → miss
+        assert machine.stats.reads == 4
+
+    def test_oversized_write_rejected(self):
+        machine = EMMachine(block_size=2, memory_blocks=2)
+        (block,) = machine.allocate_blocks(1)
+        with pytest.raises(ExternalMemoryError):
+            machine.write_block(block, [1, 2, 3])
+
+    def test_drop_cache_forces_cold_reads(self):
+        machine = EMMachine(block_size=4, memory_blocks=4)
+        (block,) = machine.allocate_blocks(1)
+        machine.write_block(block, [7])
+        machine.drop_cache()
+        reads_before = machine.stats.reads
+        assert machine.read_block(block) == [7]
+        assert machine.stats.reads == reads_before + 1
+
+    def test_checkpoint_accounting(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        (block,) = machine.allocate_blocks(1)
+        mark = machine.stats.checkpoint()
+        machine.read_block(block)
+        assert machine.stats.since(mark) == 1
+
+
+class TestDurability:
+    def test_data_survives_eviction(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        blocks = machine.allocate_blocks(4)
+        machine.write_block(blocks[0], ["payload"])
+        for other in blocks[1:]:
+            machine.read_block(other)  # push block 0 out of memory
+        assert machine.read_block(blocks[0]) == ["payload"]
+
+    def test_peek_does_not_charge(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        (block,) = machine.allocate_blocks(1)
+        machine.write_block(block, [5])
+        io_before = machine.stats.total
+        assert machine.peek_block(block) == [5]
+        assert machine.stats.total == io_before

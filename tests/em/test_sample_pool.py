@@ -1,0 +1,114 @@
+"""Unit tests for EM set sampling: sample pool vs naive (§8)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.em.model import EMMachine
+from repro.em.sample_pool import NaiveEMSetSampler, SamplePoolSetSampler
+from repro.errors import BuildError
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+
+
+class TestNaive:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            NaiveEMSetSampler(EMMachine(), [])
+
+    def test_samples_from_set(self):
+        machine = EMMachine(block_size=8, memory_blocks=2)
+        sampler = NaiveEMSetSampler(machine, list(range(100)), rng=1)
+        assert all(0 <= value < 100 for value in sampler.query(50))
+
+    def test_io_cost_linear_in_s(self):
+        machine = EMMachine(block_size=8, memory_blocks=2)
+        sampler = NaiveEMSetSampler(machine, list(range(2048)), rng=2)
+        machine.drop_cache()
+        start = machine.stats.total
+        sampler.query(128)
+        ios = machine.stats.total - start
+        # With 256 data blocks and 2 memory frames nearly every access misses.
+        assert ios > 0.7 * 128
+
+
+class TestSamplePool:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            SamplePoolSetSampler(EMMachine(), [])
+
+    def test_bad_pool_size_rejected(self):
+        with pytest.raises(BuildError):
+            SamplePoolSetSampler(EMMachine(), [1], pool_size=0)
+
+    def test_samples_from_set(self):
+        machine = EMMachine(block_size=8, memory_blocks=4)
+        sampler = SamplePoolSetSampler(machine, list(range(100)), rng=3)
+        assert all(0 <= value < 100 for value in sampler.query(60))
+
+    def test_query_io_sublinear_in_s(self):
+        machine = EMMachine(block_size=16, memory_blocks=4)
+        sampler = SamplePoolSetSampler(machine, list(range(4096)), rng=4)
+        machine.drop_cache()
+        start = machine.stats.total
+        sampler.query(256)  # no rebuild needed: pool holds 4096
+        ios = machine.stats.total - start
+        assert ios <= 256 / 16 + 4  # ≈ s/B sequential reads
+
+    def test_pool_consumed_monotonically(self):
+        machine = EMMachine(block_size=8, memory_blocks=4)
+        sampler = SamplePoolSetSampler(machine, list(range(64)), rng=5)
+        left_before = sampler.clean_samples_left
+        sampler.query(10)
+        assert sampler.clean_samples_left == left_before - 10
+
+    def test_rebuild_on_exhaustion(self):
+        machine = EMMachine(block_size=8, memory_blocks=4)
+        sampler = SamplePoolSetSampler(machine, list(range(32)), rng=6)
+        initial_rebuilds = sampler.rebuild_count
+        for _ in range(5):
+            sampler.query(20)  # 100 > 32 forces rebuilds
+        assert sampler.rebuild_count > initial_rebuilds
+
+    def test_query_larger_than_pool(self):
+        machine = EMMachine(block_size=8, memory_blocks=4)
+        sampler = SamplePoolSetSampler(machine, list(range(16)), rng=7)
+        out = sampler.query(100)
+        assert len(out) == 100
+        assert all(0 <= value < 16 for value in out)
+
+    def test_distribution_uniform(self):
+        machine = EMMachine(block_size=16, memory_blocks=8)
+        sampler = SamplePoolSetSampler(machine, list(range(8)), rng=8)
+        samples = []
+        for _ in range(30):
+            samples.extend(sampler.query(1000))
+        target = {value: 1.0 for value in range(8)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_pool_entries_are_fresh_after_rebuild(self):
+        # Two exhaust-and-rebuild cycles must not repeat the same stream.
+        machine = EMMachine(block_size=8, memory_blocks=4)
+        sampler = SamplePoolSetSampler(machine, list(range(1000)), rng=9, pool_size=64)
+        first = sampler.query(64)
+        second = sampler.query(64)
+        assert first != second
+
+    def test_amortized_beats_naive(self):
+        n, s, B = 2048, 256, 16
+        pool_machine = EMMachine(block_size=B, memory_blocks=4)
+        pool = SamplePoolSetSampler(pool_machine, list(range(n)), rng=10)
+        naive_machine = EMMachine(block_size=B, memory_blocks=4)
+        naive = NaiveEMSetSampler(naive_machine, list(range(n)), rng=11)
+
+        pool_machine.drop_cache()
+        naive_machine.drop_cache()
+        pool_start = pool_machine.stats.total
+        naive_start = naive_machine.stats.total
+        for _ in range(8):
+            pool.query(s)
+            naive.query(s)
+        pool_ios = pool_machine.stats.total - pool_start
+        naive_ios = naive_machine.stats.total - naive_start
+        assert pool_ios < naive_ios / 3

@@ -1,0 +1,76 @@
+"""Unit tests for external merge sort and its I/O bound (§8)."""
+
+import random
+
+import pytest
+
+from repro.em.array import ExternalArray
+from repro.em.lower_bound import sort_bound_ios
+from repro.em.model import EMMachine
+from repro.em.sorting import external_merge_sort
+
+
+def sort_on_machine(values, block_size=8, memory_blocks=4, key=None):
+    machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+    array = ExternalArray.from_list(machine, values)
+    machine.drop_cache()
+    start = machine.stats.total
+    result = external_merge_sort(machine, array, key=key)
+    return result.to_list(), machine.stats.total - start
+
+
+class TestCorrectness:
+    def test_sorts_random_data(self):
+        values = random.Random(1).sample(range(10_000), 500)
+        output, _ = sort_on_machine(values)
+        assert output == sorted(values)
+
+    def test_sorts_with_key(self):
+        values = [(i % 7, i) for i in range(100)]
+        output, _ = sort_on_machine(values, key=lambda pair: pair[0])
+        assert [v[0] for v in output] == sorted(v[0] for v in values)
+
+    def test_already_sorted(self):
+        output, _ = sort_on_machine(list(range(200)))
+        assert output == list(range(200))
+
+    def test_reverse_sorted(self):
+        output, _ = sort_on_machine(list(range(200, 0, -1)))
+        assert output == list(range(1, 201))
+
+    def test_duplicates(self):
+        values = [5] * 40 + [3] * 40
+        output, _ = sort_on_machine(values)
+        assert output == sorted(values)
+
+    def test_empty_input(self):
+        machine = EMMachine(block_size=4, memory_blocks=2)
+        array = ExternalArray(machine, 0)
+        assert external_merge_sort(machine, array).to_list() == []
+
+    def test_fits_in_memory_single_run(self):
+        # n ≤ M: one run, no merge passes.
+        values = random.Random(2).sample(range(1000), 30)
+        output, _ = sort_on_machine(values, block_size=8, memory_blocks=4)
+        assert output == sorted(values)
+
+    def test_stability_not_required_but_totals_preserved(self):
+        values = [random.Random(3).randint(0, 5) for _ in range(300)]
+        output, _ = sort_on_machine(values)
+        assert sorted(values) == output
+
+
+class TestIOBound:
+    @pytest.mark.parametrize("n", [256, 1024, 4096])
+    def test_within_constant_of_sorting_bound(self, n):
+        values = random.Random(n).sample(range(10 * n), n)
+        _, ios = sort_on_machine(values, block_size=16, memory_blocks=4)
+        bound = sort_bound_ios(n, B=16, M=64)
+        # Each pass reads + writes: allow a small constant factor.
+        assert ios <= 8 * bound + 16
+
+    def test_io_grows_with_fewer_memory_blocks(self):
+        values = random.Random(9).sample(range(100_000), 4096)
+        _, ios_small_memory = sort_on_machine(values, block_size=8, memory_blocks=3)
+        _, ios_big_memory = sort_on_machine(values, block_size=8, memory_blocks=32)
+        assert ios_big_memory < ios_small_memory

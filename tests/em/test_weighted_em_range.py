@@ -1,0 +1,97 @@
+"""Tests for weighted EM range sampling (the Direction-2 practical side)."""
+
+import pytest
+
+from repro.em.btree import StaticBTree
+from repro.em.em_range_sampler import EMRangeSampler
+from repro.em.model import EMMachine
+from repro.errors import BuildError
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+
+
+def build(n, weights, block_size=8, memory_blocks=8, rng=1):
+    machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+    sampler = EMRangeSampler(
+        machine, [float(i) for i in range(n)], rng=rng, weights=weights
+    )
+    return machine, sampler
+
+
+class TestWeightedBTree:
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(BuildError):
+            StaticBTree(EMMachine(), [1.0, 2.0], weights=[1.0])
+
+    def test_root_weight_is_total(self):
+        machine = EMMachine(block_size=8, memory_blocks=4)
+        weights = [float(i + 1) for i in range(30)]
+        tree = StaticBTree(machine, [float(i) for i in range(30)], weights=weights)
+        assert tree.root_entry[5] == pytest.approx(sum(weights))
+
+    def test_unweighted_weight_is_count(self):
+        machine = EMMachine(block_size=8, memory_blocks=4)
+        tree = StaticBTree(machine, [float(i) for i in range(30)])
+        assert tree.root_entry[5] == pytest.approx(30.0)
+
+    def test_weighted_units_aggregate_correctly(self):
+        machine = EMMachine(block_size=8, memory_blocks=4)
+        weights = [float(i % 3 + 1) for i in range(64)]
+        tree = StaticBTree(machine, [float(i) for i in range(64)], weights=weights)
+        units = tree.canonical_units_weighted(5.0, 58.0)
+        total = sum(weight for _, _, _, weight in units)
+        expected = sum(weights[5:59])
+        assert total == pytest.approx(expected)
+
+    def test_read_leaf_weights_unweighted_defaults(self):
+        machine = EMMachine(block_size=8, memory_blocks=4)
+        tree = StaticBTree(machine, [float(i) for i in range(10)])
+        assert tree.read_leaf_weights(0) == [1.0] * 8
+
+
+class TestWeightedSampling:
+    def test_samples_in_range(self):
+        weights = [float(i % 5 + 1) for i in range(200)]
+        _, sampler = build(200, weights)
+        assert sampler.is_weighted
+        out = sampler.query(30.0, 170.0, 100)
+        assert all(30.0 <= value <= 170.0 for value in out)
+
+    def test_weighted_distribution(self):
+        weights = [float(i + 1) for i in range(16)]
+        _, sampler = build(16, weights, rng=2)
+        samples = []
+        for _ in range(30):
+            samples.extend(sampler.query(2.0, 13.0, 1000))
+        target = {float(i): weights[i] for i in range(2, 14)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_distribution_across_pool_refills(self):
+        weights = [1.0 if i % 2 == 0 else 4.0 for i in range(32)]
+        machine, sampler = build(32, weights, rng=3)
+        initial = sampler.refill_count
+        samples = []
+        for _ in range(40):
+            samples.extend(sampler.query(0.0, 31.0, 200))
+        assert sampler.refill_count > initial
+        target = {float(i): weights[i] for i in range(32)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_naive_weighted_query_agrees(self):
+        weights = [float(i % 4 + 1) for i in range(64)]
+        _, sampler = build(64, weights, rng=4)
+        samples = []
+        for _ in range(30):
+            samples.extend(sampler.naive_query(8.0, 55.0, 1000))
+        target = {float(i): weights[i] for i in range(8, 56)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_partial_leaf_weighted(self):
+        # A narrow query entirely inside one leaf exercises the weighted
+        # partial-piece path.
+        weights = [float(i + 1) for i in range(8)]
+        _, sampler = build(8, weights, block_size=8, rng=5)
+        samples = sampler.query(2.0, 5.0, 20_000)
+        target = {float(i): weights[i] for i in range(2, 6)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA

@@ -1,0 +1,70 @@
+"""Dominance / 3-sided queries as Theorem-5 instances.
+
+The kd-tree and quadtree cover finders accept rectangles with unbounded
+sides, so dominance reporting ("all points with x ≤ a and y ≤ b") and
+3-sided queries get IQS for free — the footnote-2 family of top-k/range
+workloads.
+"""
+
+import math
+
+import pytest
+
+from repro.apps.workloads import uniform_points
+from repro.core.coverage import CoverageSampler
+from repro.substrates.kdtree import KDTree
+from repro.substrates.rangetree import RangeTree
+from repro.stats.tests import chi_square_weighted_pvalue
+
+ALPHA = 1e-6
+INF = math.inf
+
+
+class TestDominance:
+    def test_dominance_cover_matches_brute_force(self):
+        points = uniform_points(400, 2, rng=1)
+        tree = KDTree(points, leaf_size=4)
+        sampler = CoverageSampler(tree, rng=2)
+        rect = [(-INF, 0.4), (-INF, 0.7)]
+        expected = sum(1 for p in points if p[0] <= 0.4 and p[1] <= 0.7)
+        assert sampler.result_size(rect) == expected
+
+    def test_dominance_samples_valid(self):
+        points = uniform_points(300, 2, rng=3)
+        sampler = CoverageSampler(KDTree(points, leaf_size=4), rng=4)
+        rect = [(-INF, 0.5), (-INF, 0.5)]
+        for point in sampler.sample(rect, 100):
+            assert point[0] <= 0.5 and point[1] <= 0.5
+
+    def test_three_sided_query(self):
+        points = uniform_points(300, 2, rng=5)
+        sampler = CoverageSampler(KDTree(points, leaf_size=4), rng=6)
+        rect = [(0.2, 0.8), (0.5, INF)]  # x-range, y above threshold
+        for point in sampler.sample(rect, 100):
+            assert 0.2 <= point[0] <= 0.8 and point[1] >= 0.5
+
+    def test_three_sided_uniformity(self):
+        points = uniform_points(80, 2, rng=7)
+        sampler = CoverageSampler(KDTree(points, leaf_size=2), rng=8)
+        rect = [(0.0, 1.0), (0.3, INF)]
+        matching = [p for p in points if p[1] >= 0.3]
+        assert len(matching) >= 10
+        samples = sampler.sample(rect, 30_000)
+        target = {p: 1.0 for p in matching}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_range_tree_dominance(self):
+        points = uniform_points(200, 2, rng=9)
+        sampler = CoverageSampler(RangeTree(points), rng=10)
+        rect = [(-INF, 0.6), (-INF, 0.6)]
+        expected = sum(1 for p in points if p[0] <= 0.6 and p[1] <= 0.6)
+        assert sampler.result_size(rect) == expected
+
+    def test_3d_dominance(self):
+        points = uniform_points(200, 3, rng=11)
+        sampler = CoverageSampler(KDTree(points, leaf_size=4), rng=12)
+        rect = [(-INF, 0.5)] * 3
+        expected = sum(1 for p in points if all(c <= 0.5 for c in p))
+        if expected == 0:
+            pytest.skip("degenerate draw")
+        assert sampler.result_size(rect) == expected

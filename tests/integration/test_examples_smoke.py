@@ -1,0 +1,43 @@
+"""The shipped examples must keep running (fast ones, as subprocesses)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "IQS (Theorem 3)" in output
+        assert "identical set every time" in output
+
+    def test_diverse_recommendations(self):
+        output = run_example("diverse_recommendations.py")
+        assert "stuck forever" in output
+        assert "distinct restaurants" in output
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "selectivity_estimation.py",
+            "external_memory_demo.py",
+        ],
+    )
+    def test_other_fast_examples(self, name):
+        output = run_example(name)
+        assert output.strip()

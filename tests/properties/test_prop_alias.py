@@ -1,0 +1,55 @@
+"""Property-based tests for the alias structure (§3.1)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alias import AliasSampler, build_alias_tables
+
+positive_weights = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=64,
+)
+
+
+@given(weights=positive_weights)
+@settings(max_examples=200, deadline=None)
+def test_urn_masses_reconstruct_weights(weights):
+    """Condition (2) of §3.1: per-element urn mass equals w(e)/W."""
+    sampler = AliasSampler(list(range(len(weights))), weights)
+    total = sum(weights)
+    for index, weight in enumerate(weights):
+        assert math.isclose(
+            sampler.probability(index), weight / total, rel_tol=1e-9, abs_tol=1e-12
+        )
+
+
+@given(weights=positive_weights)
+@settings(max_examples=200, deadline=None)
+def test_tables_shape_invariants(weights):
+    prob, alias = build_alias_tables(weights)
+    n = len(weights)
+    assert len(prob) == len(alias) == n
+    for p, a in zip(prob, alias):
+        assert -1e-12 <= p <= 1.0 + 1e-12
+        assert 0 <= a < n
+
+
+@given(weights=positive_weights, seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_samples_always_valid_indices(weights, seed):
+    sampler = AliasSampler(list(range(len(weights))), weights, rng=seed)
+    for index in sampler.sample_indices(20):
+        assert 0 <= index < len(weights)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_uniform_weights_all_urns_full(n, seed):
+    prob, _ = build_alias_tables([1.0] * n)
+    assert all(math.isclose(p, 1.0) for p in prob)

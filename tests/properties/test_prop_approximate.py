@@ -1,0 +1,69 @@
+"""Property-based tests for the Direction-4 ε-approximate sampler."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximate import ApproximateDynamicSampler
+
+weights_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(weights=weights_strategy, epsilon=st.floats(min_value=0.01, max_value=0.9))
+@settings(max_examples=200, deadline=None)
+def test_quantization_within_sqrt_factor(weights, epsilon):
+    sampler = ApproximateDynamicSampler(epsilon=epsilon, rng=1)
+    half = math.sqrt(1 + epsilon) * (1 + 1e-9)
+    for index, weight in enumerate(weights):
+        handle = sampler.insert(index, weight)
+        ratio = sampler.quantized_weight(handle) / weight
+        assert 1 / half <= ratio <= half
+
+
+@given(weights=weights_strategy, epsilon=st.floats(min_value=0.01, max_value=0.9))
+@settings(max_examples=200, deadline=None)
+def test_probability_deviation_bounded(weights, epsilon):
+    """Analytic quantized probabilities stay within (1+ε) of targets."""
+    sampler = ApproximateDynamicSampler(epsilon=epsilon, rng=2)
+    handles = [sampler.insert(i, w) for i, w in enumerate(weights)]
+    total = sum(weights)
+    quantized = [sampler.quantized_weight(h) for h in handles]
+    quantized_total = sum(quantized)
+    bound = (1 + epsilon) * (1 + 1e-9)
+    for q, w in zip(quantized, weights):
+        ratio = (q / quantized_total) / (w / total)
+        assert 1 / bound <= ratio <= bound
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.booleans(),
+            st.floats(min_value=1e-3, max_value=1e3),
+            st.integers(min_value=0, max_value=1_000),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_size_and_mass_invariants_under_churn(operations):
+    sampler = ApproximateDynamicSampler(epsilon=0.2, rng=3)
+    live = {}
+    next_item = 0
+    for is_insert, weight, selector in operations:
+        if is_insert or not live:
+            handle = sampler.insert(next_item, weight)
+            live[handle] = next_item
+            next_item += 1
+        else:
+            handle = sorted(live)[selector % len(live)]
+            assert sampler.delete(handle) == live.pop(handle)
+    assert len(sampler) == len(live)
+    if live:
+        assert sampler.sample() in set(live.values())

@@ -1,0 +1,51 @@
+"""Property-based tests for the Theorem-3 chunked sampler internals."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.range_sampler import ChunkedRangeSampler
+
+
+@st.composite
+def sampler_and_span(draw):
+    n = draw(st.integers(min_value=1, max_value=150))
+    chunk_size = draw(st.integers(min_value=1, max_value=20))
+    lo = draw(st.integers(min_value=0, max_value=n - 1))
+    hi = draw(st.integers(min_value=lo + 1, max_value=n))
+    keys = [float(i) for i in range(n)]
+    sampler = ChunkedRangeSampler(keys, rng=1, chunk_size=chunk_size)
+    return sampler, lo, hi
+
+
+@given(data=sampler_and_span())
+@settings(max_examples=300, deadline=None)
+def test_query_split_partitions_span(data):
+    """The Figure-2 decomposition covers [lo, hi) exactly once."""
+    sampler, lo, hi = data
+    (h_lo, h_hi), (m_lo, m_hi), (t_lo, t_hi) = sampler.query_split(lo, hi)
+    covered = list(range(h_lo, h_hi)) + list(range(t_lo, t_hi))
+    for chunk in range(m_lo, m_hi):
+        c_lo = chunk * sampler.chunk_size
+        c_hi = min(c_lo + sampler.chunk_size, len(sampler.keys))
+        covered.extend(range(c_lo, c_hi))
+    assert sorted(covered) == list(range(lo, hi))
+
+
+@given(data=sampler_and_span())
+@settings(max_examples=100, deadline=None)
+def test_partial_parts_stay_within_one_chunk(data):
+    sampler, lo, hi = data
+    (h_lo, h_hi), _, (t_lo, t_hi) = sampler.query_split(lo, hi)
+    c = sampler.chunk_size
+    if h_hi > h_lo:
+        assert h_lo // c == (h_hi - 1) // c
+    if t_hi > t_lo:
+        assert t_lo // c == (t_hi - 1) // c
+
+
+@given(data=sampler_and_span(), s=st.integers(min_value=1, max_value=30))
+@settings(max_examples=150, deadline=None)
+def test_samples_always_inside_span(data, s):
+    sampler, lo, hi = data
+    for index in sampler.sample_span(lo, hi, s):
+        assert lo <= index < hi

@@ -1,0 +1,62 @@
+"""Property-based tests: dynamic samplers vs a naive reference under
+arbitrary update sequences (§9 Direction 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import BucketDynamicSampler, FenwickDynamicSampler
+
+# An operation is (kind, weight) where kind ∈ {insert, delete, update}.
+operations_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update"]),
+        st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def apply_operations(sampler_cls, operations):
+    """Replay operations against the sampler and a reference dict."""
+    sampler = sampler_cls(rng=7)
+    reference = {}  # handle -> (item, weight)
+    next_item = 0
+    for kind, weight, selector in operations:
+        if kind == "insert" or not reference:
+            handle = sampler.insert(next_item, weight)
+            reference[handle] = (next_item, weight)
+            next_item += 1
+        elif kind == "delete":
+            handle = sorted(reference)[selector % len(reference)]
+            item = sampler.delete(handle)
+            assert item == reference.pop(handle)[0]
+        else:
+            handle = sorted(reference)[selector % len(reference)]
+            sampler.update_weight(handle, weight)
+            reference[handle] = (reference[handle][0], weight)
+    return sampler, reference
+
+
+@pytest.mark.parametrize("sampler_cls", [FenwickDynamicSampler, BucketDynamicSampler])
+@given(operations=operations_strategy)
+@settings(max_examples=100, deadline=None)
+def test_state_matches_reference(sampler_cls, operations):
+    sampler, reference = apply_operations(sampler_cls, operations)
+    assert len(sampler) == len(reference)
+    expected_total = sum(weight for _, weight in reference.values())
+    assert sampler.total_weight == pytest.approx(expected_total, rel=1e-6)
+
+
+@pytest.mark.parametrize("sampler_cls", [FenwickDynamicSampler, BucketDynamicSampler])
+@given(operations=operations_strategy)
+@settings(max_examples=60, deadline=None)
+def test_samples_are_live_elements(sampler_cls, operations):
+    sampler, reference = apply_operations(sampler_cls, operations)
+    if not reference:
+        return
+    live_items = {item for item, _ in reference.values()}
+    for _ in range(10):
+        assert sampler.sample() in live_items

@@ -1,0 +1,67 @@
+"""Property-based tests: treap range sampler vs a sorted-list reference."""
+
+from bisect import bisect_left, bisect_right, insort
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic_range import DynamicRangeSampler
+from repro.errors import EmptyQueryError
+
+operations_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "query"]),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=200),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(operations=operations_strategy)
+@settings(max_examples=200, deadline=None)
+def test_treap_matches_sorted_list_reference(operations):
+    sampler = DynamicRangeSampler(rng=9)
+    reference = []  # sorted list of keys
+    for kind, key_raw, width in operations:
+        key = float(key_raw)
+        if kind == "insert":
+            if key not in reference:
+                sampler.insert(key, 1.0 + (key_raw % 7))
+                insort(reference, key)
+        elif kind == "delete":
+            if reference:
+                victim = reference[key_raw % len(reference)]
+                sampler.delete(victim)
+                reference.remove(victim)
+        else:
+            x, y = key, key + width
+            expected = bisect_right(reference, y) - bisect_left(reference, x)
+            if reference:
+                assert sampler.count(x, y) == expected
+            if expected == 0 and len(sampler):
+                with pytest.raises(EmptyQueryError):
+                    sampler.sample(x, y, 1)
+            elif expected > 0:
+                for value in sampler.sample(x, y, 3):
+                    assert x <= value <= y
+    assert sampler.keys_in_order() == reference
+    assert len(sampler) == len(reference)
+
+
+@given(
+    keys=st.sets(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_treap_weight_invariant(keys, seed):
+    sampler = DynamicRangeSampler(rng=seed)
+    total = 0.0
+    for key in keys:
+        weight = 1.0 + (key % 13)
+        sampler.insert(float(key), weight)
+        total += weight
+    assert sampler.total_weight == pytest.approx(total)
+    assert sampler.range_weight(float(min(keys)), float(max(keys))) == pytest.approx(total)

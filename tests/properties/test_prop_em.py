@@ -1,0 +1,74 @@
+"""Property-based tests for the external-memory substrate (§8)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.em.array import ExternalArray, ExternalWriter
+from repro.em.lower_bound import sort_bound_ios
+from repro.em.model import EMMachine
+from repro.em.sorting import external_merge_sort
+
+
+machine_params = st.tuples(
+    st.integers(min_value=1, max_value=16),  # B
+    st.integers(min_value=2, max_value=8),  # memory blocks
+)
+
+
+@given(params=machine_params, values=st.lists(st.integers(), max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_array_roundtrip(params, values):
+    block_size, memory_blocks = params
+    machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+    array = ExternalArray.from_list(machine, values)
+    assert array.to_list() == values
+
+
+@given(params=machine_params, values=st.lists(st.integers(), max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_writer_matches_from_list(params, values):
+    block_size, memory_blocks = params
+    machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+    writer = ExternalWriter(machine)
+    writer.extend(values)
+    assert writer.finish().to_list() == values
+
+
+@given(
+    params=machine_params,
+    values=st.lists(st.integers(min_value=-10_000, max_value=10_000), max_size=300),
+)
+@settings(max_examples=60, deadline=None)
+def test_external_sort_sorts(params, values):
+    block_size, memory_blocks = params
+    machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+    array = ExternalArray.from_list(machine, values)
+    assert external_merge_sort(machine, array).to_list() == sorted(values)
+
+
+@given(
+    n=st.integers(min_value=64, max_value=1024),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_sort_io_within_bound(n, seed):
+    import random
+
+    values = [random.Random(seed).randint(0, 10**6) for _ in range(n)]
+    machine = EMMachine(block_size=16, memory_blocks=4)
+    array = ExternalArray.from_list(machine, values)
+    machine.drop_cache()
+    start = machine.stats.total
+    external_merge_sort(machine, array)
+    ios = machine.stats.total - start
+    assert ios <= 8 * sort_bound_ios(n, 16, 64) + 16
+
+
+@given(params=machine_params, values=st.lists(st.integers(), min_size=1, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_random_access_consistency(params, values):
+    block_size, memory_blocks = params
+    machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+    array = ExternalArray.from_list(machine, values)
+    for index in range(0, len(values), max(1, len(values) // 7)):
+        assert array.get(index) == values[index]

@@ -1,0 +1,58 @@
+"""Property-based tests: Fenwick tree vs a naive reference array."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.substrates.fenwick import FenwickTree
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=100,
+)
+
+
+@given(values=values_strategy)
+@settings(max_examples=200, deadline=None)
+def test_prefix_sums_match_reference(values):
+    tree = FenwickTree(values)
+    running = 0.0
+    for count, value in enumerate(values, start=1):
+        running += value
+        assert abs(tree.prefix_sum(count) - running) < 1e-6 * max(1.0, running)
+
+
+@given(
+    values=values_strategy,
+    updates=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=99),
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+        ),
+        max_size=30,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_updates_match_reference(values, updates):
+    tree = FenwickTree(values)
+    reference = list(values)
+    for index, delta in updates:
+        index %= len(reference)
+        tree.add(index, delta)
+        reference[index] += delta
+    for lo in range(0, len(reference), 7):
+        for hi in range(lo, len(reference) + 1, 5):
+            expected = sum(reference[lo:hi])
+            assert abs(tree.range_sum(lo, hi) - expected) < 1e-6 * max(1.0, expected)
+
+
+@given(values=st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_find_prefix_is_inverse_cdf(values):
+    tree = FenwickTree(values)
+    prefix = 0.0
+    for index, value in enumerate(values):
+        # A target strictly inside this slot's mass must map to this index.
+        inside = prefix + value / 2
+        assert tree.find_prefix(inside) == index
+        prefix += value

@@ -1,0 +1,79 @@
+"""Property-based tests for scheme conversions and cover structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx_coverage import ComplementRangeIndex
+from repro.core.schemes import multinomial_split, uniform_indices_without_replacement
+from repro.substrates.sketch import KMVSketch
+
+
+@given(
+    weights=st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20),
+    s=st.integers(min_value=1, max_value=500),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=150, deadline=None)
+def test_multinomial_split_conserves_s(weights, s, seed):
+    counts = multinomial_split(weights, s, rng=seed)
+    assert sum(counts) == s
+    assert all(count >= 0 for count in counts)
+
+
+@given(
+    bounds=st.tuples(st.integers(min_value=-100, max_value=100), st.integers(min_value=1, max_value=80)),
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_floyd_wor_always_distinct(bounds, seed, data):
+    lo, width = bounds
+    s = data.draw(st.integers(min_value=1, max_value=width))
+    indices = uniform_indices_without_replacement(lo, lo + width, s, rng=seed)
+    assert len(set(indices)) == s
+    assert all(lo <= index < lo + width for index in indices)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    x=st.floats(min_value=-10.0, max_value=310.0, allow_nan=False),
+    width=st.floats(min_value=0.0, max_value=320.0, allow_nan=False),
+)
+@settings(max_examples=300, deadline=None)
+def test_complement_cover_invariants(n, x, width):
+    """The three §6 approximate-cover conditions, for every query."""
+    index = ComplementRangeIndex([float(i) for i in range(n)])
+    query = (x, x + width)
+    cover = index.find_approximate_cover(query)
+    below, above = index.complement_counts(query)
+    result_size = below + above
+
+    # Disjointness.
+    seen = set()
+    for lo, hi in cover.spans:
+        for position in range(lo, hi):
+            assert position not in seen
+            seen.add(position)
+    # Containment: S_q ⊆ ∪ spans.
+    complement_positions = set(range(below)) | set(range(n - above, n))
+    assert complement_positions <= seen
+    # Constant-fraction occupancy: |∪ spans| ≤ 4·|S_q| (factor 2 per side,
+    # slack for the merged-full-array case).
+    if result_size:
+        assert len(seen) <= 4 * result_size
+    else:
+        assert not seen
+
+
+@given(
+    items=st.lists(st.integers(min_value=0, max_value=10_000), max_size=300),
+    k=st.integers(min_value=2, max_value=64),
+    salt=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_kmv_never_exceeds_k_and_exact_below_k(items, k, salt):
+    sketch = KMVSketch.from_items(items, k=k, salt=salt)
+    distinct = len(set(items))
+    assert len(sketch) == min(distinct, k)
+    if distinct < k:
+        assert sketch.estimate() == float(distinct)

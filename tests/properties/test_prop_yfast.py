@@ -1,0 +1,66 @@
+"""Property-based tests: y-fast trie vs bisect reference (§4.3)."""
+
+from bisect import bisect_right
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.substrates.yfast import YFastTrie
+
+
+@st.composite
+def keys_and_queries(draw):
+    keys = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=0, max_value=(1 << 16) - 1),
+                min_size=1,
+                max_size=200,
+            )
+        )
+    )
+    queries = draw(
+        st.lists(st.integers(min_value=0, max_value=1 << 17), min_size=1, max_size=50)
+    )
+    return keys, queries
+
+
+@given(data=keys_and_queries())
+@settings(max_examples=300, deadline=None)
+def test_predecessor_matches_bisect(data):
+    keys, queries = data
+    trie = YFastTrie(keys)
+    for query in queries:
+        expected = bisect_right(keys, query) - 1
+        actual = trie.predecessor_index(query)
+        if expected < 0:
+            assert actual is None
+        else:
+            assert actual == expected
+
+
+@given(data=keys_and_queries())
+@settings(max_examples=200, deadline=None)
+def test_successor_consistent_with_predecessor(data):
+    keys, queries = data
+    trie = YFastTrie(keys)
+    for query in queries:
+        successor = trie.successor(query)
+        if successor is not None:
+            assert successor >= query
+            predecessor_of_prior = trie.predecessor(successor - 1) if successor else None
+            assert predecessor_of_prior is None or predecessor_of_prior < query
+
+
+@given(data=keys_and_queries())
+@settings(max_examples=200, deadline=None)
+def test_span_bounds_are_valid(data):
+    keys, queries = data
+    trie = YFastTrie(keys)
+    for i in range(0, len(queries) - 1, 2):
+        x, y = sorted((queries[i], queries[i + 1]))
+        lo, hi = trie.span_of(x, y)
+        assert 0 <= lo <= hi <= len(keys)
+        covered = keys[lo:hi]
+        expected = [key for key in keys if x <= key <= y]
+        assert covered == expected

@@ -1,0 +1,65 @@
+"""Unit tests for the cross-query independence diagnostics (eq. 1)."""
+
+import random
+
+from repro.core.dependent import DependentRangeSampler
+from repro.core.range_sampler import ChunkedRangeSampler
+from repro.stats.independence import (
+    lag_independence_pvalue,
+    repeat_query_distinct_fraction,
+    repeat_query_outputs,
+)
+
+
+class TestRepeatQueryOutputs:
+    def test_collects_outputs(self):
+        counter = iter(range(5))
+        assert repeat_query_outputs(lambda: next(counter), 5) == [0, 1, 2, 3, 4]
+
+
+class TestDistinctFraction:
+    def test_iqs_sampler_high_fraction(self):
+        keys = [float(i) for i in range(1000)]
+        sampler = ChunkedRangeSampler(keys, rng=1)
+        fraction = repeat_query_distinct_fraction(
+            lambda: sampler.sample(0.0, 999.0, 1)[0], 100
+        )
+        assert fraction >= 0.8  # 100 draws from 1000 keys rarely collide
+
+    def test_dependent_sampler_minimal_fraction(self):
+        keys = [float(i) for i in range(1000)]
+        sampler = DependentRangeSampler(keys, rng=2)
+        fraction = repeat_query_distinct_fraction(
+            lambda: sampler.sample_without_replacement(0.0, 999.0, 1)[0], 100
+        )
+        assert fraction == 1 / 100  # the same element every time
+
+
+class TestLagIndependence:
+    def test_independent_stream_passes(self):
+        rng = random.Random(3)
+        outputs = [rng.randrange(4) for _ in range(20_000)]
+        assert lag_independence_pvalue(outputs) > 1e-6
+
+    def test_correlated_stream_fails(self):
+        # A sticky chain: repeats the previous output 90 % of the time.
+        rng = random.Random(4)
+        outputs = [0]
+        for _ in range(5000):
+            if rng.random() < 0.9:
+                outputs.append(outputs[-1])
+            else:
+                outputs.append(rng.randrange(4))
+        assert lag_independence_pvalue(outputs) < 1e-6
+
+    def test_constant_stream_returns_one(self):
+        assert lag_independence_pvalue([7] * 100) == 1.0
+
+    def test_short_stream_returns_one(self):
+        assert lag_independence_pvalue([1, 2]) == 1.0
+
+    def test_iqs_sampler_passes(self):
+        keys = [float(i) for i in range(8)]
+        sampler = ChunkedRangeSampler(keys, rng=5)
+        outputs = [sampler.sample(0.0, 7.0, 1)[0] for _ in range(20_000)]
+        assert lag_independence_pvalue(outputs) > 1e-6

@@ -1,0 +1,86 @@
+"""Unit tests for the chi-square machinery, cross-checked against scipy."""
+
+import random
+
+import pytest
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+from repro.stats.tests import (
+    _chi_square_sf,
+    chi_square_pvalue,
+    chi_square_uniform_pvalue,
+    chi_square_weighted_pvalue,
+    empirical_counts,
+    merge_small_bins,
+)
+
+
+class TestChiSquareSF:
+    @pytest.mark.parametrize("statistic", [0.5, 1.0, 5.0, 20.0, 100.0])
+    @pytest.mark.parametrize("dof", [1, 3, 10, 50])
+    def test_matches_scipy(self, statistic, dof):
+        ours = _chi_square_sf(statistic, dof)
+        reference = scipy_stats.chi2.sf(statistic, dof)
+        assert ours == pytest.approx(reference, rel=1e-8, abs=1e-12)
+
+    def test_zero_statistic(self):
+        assert _chi_square_sf(0.0, 5) == 1.0
+
+    def test_bad_dof_rejected(self):
+        with pytest.raises(ValueError):
+            _chi_square_sf(1.0, 0)
+
+
+class TestPValueHelpers:
+    def test_matches_scipy_chisquare(self):
+        observed = [90, 110, 95, 105]
+        expected = [100.0, 100.0, 100.0, 100.0]
+        ours = chi_square_pvalue(observed, expected)
+        reference = scipy_stats.chisquare(observed, expected).pvalue
+        assert ours == pytest.approx(reference, rel=1e-8)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_pvalue([1, 2], [1.0])
+
+    def test_nonpositive_expected_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_pvalue([1, 2], [1.0, 0.0])
+
+    def test_uniform_pvalue_accepts_uniform_data(self):
+        rng = random.Random(1)
+        samples = [rng.randrange(6) for _ in range(60_000)]
+        assert chi_square_uniform_pvalue(samples, list(range(6))) > 1e-6
+
+    def test_uniform_pvalue_rejects_skewed_data(self):
+        samples = [0] * 900 + [1] * 100
+        assert chi_square_uniform_pvalue(samples, [0, 1]) < 1e-6
+
+    def test_weighted_pvalue_accepts_matching_data(self):
+        rng = random.Random(2)
+        weights = {"a": 1.0, "b": 3.0}
+        samples = [("b" if rng.random() < 0.75 else "a") for _ in range(40_000)]
+        assert chi_square_weighted_pvalue(samples, weights) > 1e-6
+
+    def test_weighted_pvalue_rejects_wrong_weights(self):
+        samples = ["a"] * 500 + ["b"] * 500
+        assert chi_square_weighted_pvalue(samples, {"a": 1.0, "b": 9.0}) < 1e-6
+
+
+class TestUtilities:
+    def test_empirical_counts(self):
+        assert empirical_counts(["x", "y", "x"]) == {"x": 2, "y": 1}
+
+    def test_merge_small_bins(self):
+        observed = [1, 1, 1, 100]
+        expected = [2.0, 2.0, 2.0, 100.0]
+        pooled_obs, pooled_exp = merge_small_bins(observed, expected, minimum=5.0)
+        assert sum(pooled_obs) == sum(observed)
+        assert sum(pooled_exp) == pytest.approx(sum(expected))
+        assert all(exp >= 5.0 for exp in pooled_exp)
+
+    def test_merge_small_bins_all_small(self):
+        pooled_obs, pooled_exp = merge_small_bins([1, 1], [1.0, 1.0], minimum=5.0)
+        assert pooled_obs == [2]
+        assert pooled_exp == [2.0]

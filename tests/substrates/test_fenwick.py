@@ -1,0 +1,101 @@
+"""Unit tests for the Fenwick range-sum structure (§4.2)."""
+
+import pytest
+
+from repro.substrates.fenwick import FenwickTree, fenwick_from
+
+
+class TestConstruction:
+    def test_requires_values_or_size(self):
+        with pytest.raises(ValueError):
+            FenwickTree()
+
+    def test_from_values(self):
+        tree = FenwickTree([1.0, 2.0, 3.0])
+        assert tree.total == pytest.approx(6.0)
+
+    def test_from_size_starts_zero(self):
+        tree = FenwickTree(size=5)
+        assert tree.total == 0.0
+
+    def test_from_iterable(self):
+        tree = fenwick_from(x * 1.0 for x in range(4))
+        assert tree.total == pytest.approx(6.0)
+
+    def test_bulk_build_matches_incremental(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        bulk = FenwickTree(values)
+        incremental = FenwickTree(size=len(values))
+        for index, value in enumerate(values):
+            incremental.add(index, value)
+        for count in range(len(values) + 1):
+            assert bulk.prefix_sum(count) == pytest.approx(incremental.prefix_sum(count))
+
+
+class TestSums:
+    def test_prefix_sums(self):
+        tree = FenwickTree([1.0, 2.0, 3.0, 4.0])
+        assert [tree.prefix_sum(i) for i in range(5)] == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+    def test_range_sum(self):
+        tree = FenwickTree([1.0, 2.0, 3.0, 4.0])
+        assert tree.range_sum(1, 3) == pytest.approx(5.0)
+        assert tree.range_sum(0, 4) == pytest.approx(10.0)
+        assert tree.range_sum(2, 2) == 0.0
+
+    def test_range_sum_reversed_rejected(self):
+        tree = FenwickTree([1.0])
+        with pytest.raises(IndexError):
+            tree.range_sum(1, 0)
+
+    def test_prefix_out_of_range_rejected(self):
+        tree = FenwickTree([1.0, 2.0])
+        with pytest.raises(IndexError):
+            tree.prefix_sum(3)
+
+    def test_add(self):
+        tree = FenwickTree([1.0, 1.0, 1.0])
+        tree.add(1, 4.0)
+        assert tree.range_sum(0, 3) == pytest.approx(7.0)
+        assert tree.range_sum(1, 2) == pytest.approx(5.0)
+
+    def test_add_out_of_range_rejected(self):
+        tree = FenwickTree([1.0])
+        with pytest.raises(IndexError):
+            tree.add(1, 1.0)
+
+    def test_values_roundtrip(self):
+        values = [2.0, 0.0, 7.5, 1.25]
+        assert FenwickTree(values).values() == pytest.approx(values)
+
+
+class TestFindPrefix:
+    def test_basic_lookup(self):
+        tree = FenwickTree([1.0, 2.0, 3.0])
+        assert tree.find_prefix(0.0) == 0
+        assert tree.find_prefix(0.99) == 0
+        assert tree.find_prefix(1.0) == 1
+        assert tree.find_prefix(2.99) == 1
+        assert tree.find_prefix(3.0) == 2
+        assert tree.find_prefix(5.99) == 2
+
+    def test_skips_zero_slots(self):
+        tree = FenwickTree([0.0, 5.0, 0.0, 5.0])
+        assert tree.find_prefix(0.0) == 1
+        assert tree.find_prefix(4.99) == 1
+        assert tree.find_prefix(5.0) == 3
+
+    def test_negative_target_rejected(self):
+        tree = FenwickTree([1.0])
+        with pytest.raises(ValueError):
+            tree.find_prefix(-0.1)
+
+    def test_target_at_total_rejected(self):
+        tree = FenwickTree([1.0, 2.0])
+        with pytest.raises(ValueError):
+            tree.find_prefix(3.0)
+
+    def test_non_power_of_two_size(self):
+        tree = FenwickTree([1.0] * 13)
+        for target in range(13):
+            assert tree.find_prefix(float(target) + 0.5) == target

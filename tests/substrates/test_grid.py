@@ -1,0 +1,72 @@
+"""Unit tests for the shifted-grid LSH stand-in (§7 substitution)."""
+
+import math
+
+import pytest
+
+from repro.apps.workloads import uniform_points
+from repro.errors import BuildError
+from repro.substrates.grid import ShiftedGrids
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            ShiftedGrids([], cell_size=1.0)
+
+    def test_bad_cell_size_rejected(self):
+        with pytest.raises(BuildError):
+            ShiftedGrids([(0.0, 0.0)], cell_size=0.0)
+
+    def test_bad_grid_count_rejected(self):
+        with pytest.raises(BuildError):
+            ShiftedGrids([(0.0, 0.0)], cell_size=1.0, num_grids=0)
+
+    def test_each_point_in_one_cell_per_grid(self):
+        points = uniform_points(100, 2, rng=1)
+        grids = ShiftedGrids(points, cell_size=0.2, num_grids=3, rng=2)
+        assert grids.total_family_size() == 300
+
+    def test_family_covers_all_points(self):
+        points = uniform_points(50, 2, rng=3)
+        grids = ShiftedGrids(points, cell_size=0.3, num_grids=2, rng=4)
+        members = set()
+        for cell in grids.family:
+            members.update(cell)
+        assert members == set(range(50))
+
+
+class TestBallQueries:
+    def test_candidate_cells_cover_ball(self):
+        points = uniform_points(200, 2, rng=5)
+        grids = ShiftedGrids(points, cell_size=0.1, num_grids=2, rng=6)
+        center, radius = (0.5, 0.5), 0.1
+        candidates = set()
+        for family_index in grids.cells_for_ball(center, radius):
+            candidates.update(grids.family[family_index])
+        for index, point in enumerate(points):
+            distance = math.dist(point, center)
+            if distance <= radius:
+                assert index in candidates
+
+    def test_far_query_returns_no_cells(self):
+        points = uniform_points(50, 2, rng=7)
+        grids = ShiftedGrids(points, cell_size=0.1, num_grids=2, rng=8)
+        assert grids.cells_for_ball((50.0, 50.0), 0.1) == []
+
+    def test_wrong_dims_rejected(self):
+        grids = ShiftedGrids([(0.0, 0.0)], cell_size=1.0)
+        with pytest.raises(ValueError):
+            grids.cells_for_ball((0.0,), 1.0)
+
+    def test_pruning_keeps_only_nearby_cells(self):
+        # Every returned cell's box must actually touch the ball.
+        points = uniform_points(300, 2, rng=9)
+        grids = ShiftedGrids(points, cell_size=0.05, num_grids=1, rng=10)
+        center, radius = (0.3, 0.7), 0.07
+        for family_index in grids.cells_for_ball(center, radius):
+            cell_points = [points[i] for i in grids.family[family_index]]
+            # The cell has side 0.05, so every member lies within
+            # radius + cell diagonal of the center.
+            for point in cell_points:
+                assert math.dist(point, center) <= radius + 0.05 * math.sqrt(2) + 1e-9

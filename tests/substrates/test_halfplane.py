@@ -1,0 +1,196 @@
+"""Unit tests for convex layers + halfplane covers (§6 remark, 2D)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.coverage import CoverageSampler
+from repro.errors import BuildError, EmptyQueryError
+from repro.stats.tests import chi_square_weighted_pvalue
+from repro.substrates.convex_layers import ConvexLayers, PolygonExtremes, convex_hull
+from repro.substrates.halfplane import HalfplaneIndex
+
+ALPHA = 1e-6
+
+
+def random_points(n, seed, box=10.0):
+    rng = random.Random(seed)
+    return [(rng.uniform(-box, box), rng.uniform(-box, box)) for _ in range(n)]
+
+
+class TestConvexHull:
+    def test_triangle(self):
+        hull = convex_hull([(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)])
+        assert len(hull) == 3
+
+    def test_collinear_points_reduce_to_segment(self):
+        hull = convex_hull([(float(i), float(i)) for i in range(5)])
+        assert hull == [(0.0, 0.0), (4.0, 4.0)]
+
+    def test_interior_points_excluded(self):
+        square = [(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (0.0, 4.0)]
+        hull = convex_hull(square + [(2.0, 2.0), (1.0, 1.0)])
+        assert sorted(hull) == sorted(square)
+
+    def test_ccw_orientation(self):
+        hull = convex_hull(random_points(50, seed=1))
+        area2 = sum(
+            hull[i][0] * hull[(i + 1) % len(hull)][1]
+            - hull[(i + 1) % len(hull)][0] * hull[i][1]
+            for i in range(len(hull))
+        )
+        assert area2 > 0  # ccw
+
+    def test_single_point(self):
+        assert convex_hull([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+
+class TestPolygonExtremes:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_argmax_matches_scan(self, seed):
+        rng = random.Random(seed)
+        hull = convex_hull(random_points(200, seed=seed))
+        extremes = PolygonExtremes(hull)
+        for _ in range(30):
+            angle = rng.uniform(0, 2 * math.pi)
+            direction = (math.cos(angle), math.sin(angle))
+            chosen = hull[extremes.argmax(direction)]
+            best = max(v[0] * direction[0] + v[1] * direction[1] for v in hull)
+            assert chosen[0] * direction[0] + chosen[1] * direction[1] == pytest.approx(
+                best, abs=1e-9
+            )
+
+    def test_argmin_is_opposite(self):
+        hull = convex_hull(random_points(100, seed=5))
+        extremes = PolygonExtremes(hull)
+        direction = (1.0, 0.0)
+        low = hull[extremes.argmin(direction)]
+        assert low[0] == pytest.approx(min(v[0] for v in hull), abs=1e-9)
+
+    def test_axis_aligned_directions(self):
+        hull = convex_hull(random_points(80, seed=6))
+        extremes = PolygonExtremes(hull)
+        assert hull[extremes.argmax((0.0, 1.0))][1] == pytest.approx(
+            max(v[1] for v in hull)
+        )
+
+
+class TestConvexLayers:
+    def test_layers_partition_points(self):
+        points = random_points(200, seed=7)
+        layers = ConvexLayers(points)
+        assert len(layers) == 200
+        assert sorted(layers.leaf_items) == sorted(points)
+
+    def test_duplicates_kept_once_each(self):
+        points = [(1.0, 1.0)] * 5 + [(0.0, 0.0), (2.0, 0.0), (1.0, 3.0)]
+        layers = ConvexLayers(points)
+        assert len(layers) == 8
+        assert layers.leaf_items.count((1.0, 1.0)) == 5
+
+    def test_layer_count_reasonable(self):
+        layers = ConvexLayers(random_points(500, seed=8))
+        assert 1 <= layers.num_layers < 100
+
+    def test_outer_layer_is_global_hull(self):
+        points = random_points(100, seed=9)
+        layers = ConvexLayers(points)
+        assert sorted(layers.layer_vertices[0]) == sorted(convex_hull(points))
+
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            ConvexLayers([])
+
+
+class TestHalfplaneCovers:
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_report_matches_brute_force(self, seed):
+        points = random_points(250, seed=seed)
+        index = HalfplaneIndex(points)
+        rng = random.Random(seed + 100)
+        for _ in range(10):
+            a, b = rng.uniform(-3, 3), rng.uniform(-12, 12)
+            expected = sorted(p for p in points if p[1] - a * p[0] - b <= 0)
+            assert sorted(index.report((a, b))) == expected
+
+    def test_spans_disjoint(self):
+        points = random_points(300, seed=13)
+        index = HalfplaneIndex(points)
+        seen = set()
+        for lo, hi in index.find_cover((0.7, 1.0)):
+            for position in range(lo, hi):
+                assert position not in seen
+                seen.add(position)
+
+    def test_empty_halfplane(self):
+        points = [(0.0, 5.0), (1.0, 6.0)]
+        index = HalfplaneIndex(points)
+        assert index.find_cover((0.0, 0.0)) == []
+
+    def test_full_halfplane_single_walk(self):
+        points = random_points(200, seed=14)
+        index = HalfplaneIndex(points)
+        assert index.count((0.0, 100.0)) == 200
+
+    def test_predicate_evaluations_sublinear(self):
+        points = random_points(4000, seed=15)
+        index = HalfplaneIndex(points)
+        query = (0.2, -6.0)  # selective: the walk stops early
+        touched = index.touched_layers(query)
+        index.predicate_evaluations = 0
+        cover = index.find_cover(query)
+        result_size = sum(hi - lo for lo, hi in cover)
+        # Each touched layer costs O(log m) predicate evaluations; compare
+        # against scanning every touched layer in full.
+        touched_scan_cost = sum(
+            len(index._layers.layer_vertices[i]) for i in range(touched)
+        )
+        max_hull = max(
+            len(index._layers.layer_vertices[i]) for i in range(touched)
+        )
+        import math
+
+        per_layer_log = 2 * math.ceil(math.log2(max(2, max_hull))) + 10
+        assert index.predicate_evaluations <= touched * per_layer_log
+        assert index.predicate_evaluations < 0.8 * touched_scan_cost
+        assert result_size > 0
+
+    def test_collinear_dataset(self):
+        points = [(float(i), float(i)) for i in range(20)]
+        index = HalfplaneIndex(points)
+        assert index.count((1.0, 0.0)) == 20  # y = x line: all on it
+        assert index.count((1.0, -0.5)) == 0
+
+
+class TestHalfplaneSampling:
+    def test_samples_below_line(self):
+        points = random_points(400, seed=16)
+        sampler = CoverageSampler(HalfplaneIndex(points), rng=17)
+        a, b = 0.4, -1.0
+        for point in sampler.sample((a, b), 100):
+            assert point[1] - a * point[0] - b <= 1e-12
+
+    def test_uniformity(self):
+        points = random_points(60, seed=18)
+        index = HalfplaneIndex(points)
+        sampler = CoverageSampler(index, rng=19)
+        query = (0.2, 2.0)
+        matching = [p for p in points if p[1] - 0.2 * p[0] - 2.0 <= 0]
+        assert len(matching) >= 10
+        samples = sampler.sample(query, 30_000)
+        target = {p: 1.0 for p in matching}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_weighted_sampling(self):
+        points = [(float(i), 0.0) for i in range(6)]
+        weights = [float(i + 1) for i in range(6)]
+        sampler = CoverageSampler(HalfplaneIndex(points, weights), rng=20)
+        samples = sampler.sample((0.0, 1.0), 30_000)  # all points qualify
+        target = {points[i]: weights[i] for i in range(6)}
+        assert chi_square_weighted_pvalue(samples, target) > ALPHA
+
+    def test_empty_query_raises(self):
+        sampler = CoverageSampler(HalfplaneIndex([(0.0, 5.0)]), rng=21)
+        with pytest.raises(EmptyQueryError):
+            sampler.sample((0.0, 0.0), 1)

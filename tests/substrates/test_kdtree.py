@@ -1,0 +1,120 @@
+"""Unit tests for the kd-tree substrate (§5, Theorem-5 example 1)."""
+
+import math
+
+import pytest
+
+from repro.apps.workloads import uniform_points
+from repro.errors import BuildError
+from repro.substrates.kdtree import KDTree
+
+
+def brute_force(points, rect):
+    return sorted(
+        p for p in points if all(lo <= c <= hi for (lo, hi), c in zip(rect, p))
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            KDTree([])
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(BuildError):
+            KDTree([(1.0, 2.0), (1.0,)])
+
+    def test_bad_leaf_size_rejected(self):
+        with pytest.raises(BuildError):
+            KDTree([(1.0, 2.0)], leaf_size=0)
+
+    def test_weight_mismatch_rejected(self):
+        with pytest.raises(BuildError):
+            KDTree([(1.0, 2.0)], weights=[1.0, 2.0])
+
+    def test_leaf_order_is_permutation(self):
+        points = uniform_points(100, 2, rng=1)
+        tree = KDTree(points, leaf_size=4)
+        assert sorted(tree.leaf_items) == sorted(points)
+        assert sorted(tree.original_index(i) for i in range(100)) == list(range(100))
+
+    def test_weights_follow_points(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]
+        weights = [1.0, 2.0, 3.0]
+        tree = KDTree(points, weights, leaf_size=1)
+        for position in range(3):
+            original = tree.original_index(position)
+            assert tree.leaf_weights[position] == weights[original]
+
+
+class TestSpanInvariants:
+    def test_node_spans_nest(self):
+        tree = KDTree(uniform_points(200, 2, rng=2), leaf_size=4)
+        spans = tree.iter_node_spans()
+        assert spans[0] == (0, 200)  # root (pre-order id 0)
+        for lo, hi in spans:
+            assert 0 <= lo < hi <= 200
+
+
+class TestCovers:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_cover_equals_brute_force(self, dims):
+        points = uniform_points(300, dims, rng=3)
+        tree = KDTree(points, leaf_size=5)
+        rect = [(0.2, 0.7)] * dims
+        covered = sorted(
+            tree.leaf_items[i] for lo, hi in tree.find_cover(rect) for i in range(lo, hi)
+        )
+        assert covered == brute_force(points, rect)
+
+    def test_cover_spans_disjoint(self):
+        points = uniform_points(300, 2, rng=4)
+        tree = KDTree(points, leaf_size=5)
+        spans = tree.find_cover([(0.1, 0.9), (0.1, 0.9)])
+        seen = set()
+        for lo, hi in spans:
+            for position in range(lo, hi):
+                assert position not in seen
+                seen.add(position)
+
+    def test_cover_size_sublinear(self):
+        # Crossing bound: O(√n) spans for a 2D rectangle on n points.
+        n = 1 << 12
+        points = uniform_points(n, 2, rng=5)
+        tree = KDTree(points, leaf_size=1)
+        spans = tree.find_cover([(0.25, 0.75), (0.25, 0.75)])
+        assert len(spans) <= 12 * math.isqrt(n)
+
+    def test_empty_cover(self):
+        tree = KDTree(uniform_points(50, 2, rng=6), leaf_size=4)
+        assert tree.find_cover([(2.0, 3.0), (2.0, 3.0)]) == []
+
+    def test_wrong_dims_rejected(self):
+        tree = KDTree(uniform_points(10, 2, rng=7), leaf_size=4)
+        with pytest.raises(ValueError):
+            tree.find_cover([(0.0, 1.0)])
+
+    def test_point_query(self):
+        points = [(0.5, 0.5), (0.1, 0.9)]
+        tree = KDTree(points, leaf_size=1)
+        rect = [(0.5, 0.5), (0.5, 0.5)]
+        assert tree.report(rect) == [(0.5, 0.5)]
+
+
+class TestReporting:
+    def test_report_and_count_agree(self):
+        points = uniform_points(200, 2, rng=8)
+        tree = KDTree(points, leaf_size=8)
+        rect = [(0.0, 0.5), (0.5, 1.0)]
+        assert len(tree.report(rect)) == tree.count(rect)
+
+    def test_full_domain(self):
+        points = uniform_points(64, 2, rng=9)
+        tree = KDTree(points, leaf_size=8)
+        rect = [(-1.0, 2.0), (-1.0, 2.0)]
+        assert tree.count(rect) == 64
+
+    def test_duplicate_points_supported(self):
+        points = [(0.5, 0.5)] * 10
+        tree = KDTree(points, leaf_size=2)
+        assert tree.count([(0.0, 1.0), (0.0, 1.0)]) == 10

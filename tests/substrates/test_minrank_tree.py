@@ -1,0 +1,62 @@
+"""Unit tests for the min-rank-augmented BST (§2 dependent baseline)."""
+
+import random
+
+import pytest
+
+from repro.errors import BuildError
+from repro.substrates.minrank_tree import MinRankTree
+
+
+def build(n, seed=0):
+    keys = [float(i) for i in range(n)]
+    ranks = list(range(n))
+    random.Random(seed).shuffle(ranks)
+    return MinRankTree(keys, ranks), ranks
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(BuildError):
+            MinRankTree([1.0, 2.0], [0])
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(BuildError):
+            MinRankTree([1.0, 2.0], [0, 0])
+
+    def test_rank_lookup(self):
+        tree = MinRankTree([1.0, 2.0, 3.0], [2, 0, 1])
+        assert tree.rank_of_index(0) == 2
+        assert tree.rank_of_index(1) == 0
+
+
+class TestLowestRanked:
+    def test_matches_brute_force(self):
+        tree, ranks = build(60, seed=3)
+        for x, y, s in [(0.0, 59.0, 5), (10.0, 30.0, 7), (25.0, 25.0, 1), (5.0, 50.0, 100)]:
+            hits = tree.lowest_ranked_in_range(x, y, s)
+            expected = sorted(
+                (ranks[i], i) for i in range(60) if x <= float(i) <= y
+            )[:s]
+            assert hits == expected
+
+    def test_output_in_increasing_rank_order(self):
+        tree, _ = build(40, seed=4)
+        hits = tree.lowest_ranked_in_range(5.0, 35.0, 10)
+        rank_sequence = [rank for rank, _ in hits]
+        assert rank_sequence == sorted(rank_sequence)
+
+    def test_empty_range(self):
+        tree, _ = build(10)
+        assert tree.lowest_ranked_in_range(100.0, 200.0, 3) == []
+
+    def test_request_larger_than_range(self):
+        tree, ranks = build(10)
+        hits = tree.lowest_ranked_in_range(2.0, 4.0, 50)
+        assert len(hits) == 3
+
+    def test_deterministic(self):
+        tree, _ = build(30, seed=5)
+        assert tree.lowest_ranked_in_range(0.0, 29.0, 5) == tree.lowest_ranked_in_range(
+            0.0, 29.0, 5
+        )

@@ -1,0 +1,57 @@
+"""Unit tests for permutation/rank utilities (§2, §7)."""
+
+import pytest
+
+from repro.substrates.permutation import (
+    assign_ranks,
+    inverse_permutation,
+    random_permutation,
+)
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        items = list(range(50))
+        permuted = random_permutation(items, rng=1)
+        assert sorted(permuted) == items
+
+    def test_input_not_mutated(self):
+        items = [3, 1, 2]
+        random_permutation(items, rng=1)
+        assert items == [3, 1, 2]
+
+    def test_deterministic_under_seed(self):
+        assert random_permutation(range(20), rng=5) == random_permutation(range(20), rng=5)
+
+    def test_different_seeds_differ(self):
+        assert random_permutation(range(50), rng=1) != random_permutation(range(50), rng=2)
+
+
+class TestAssignRanks:
+    def test_ranks_are_one_to_n(self):
+        ranks = assign_ranks(["a", "b", "c", "d"], rng=1)
+        assert sorted(ranks.values()) == [1, 2, 3, 4]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            assign_ranks(["a", "a"])
+
+    def test_uniformity_of_first_rank(self):
+        # Across seeds, each element gets rank 1 about equally often.
+        counts = {"a": 0, "b": 0, "c": 0}
+        for seed in range(3000):
+            ranks = assign_ranks(["a", "b", "c"], rng=seed)
+            for item, rank in ranks.items():
+                if rank == 1:
+                    counts[item] += 1
+        assert max(counts.values()) - min(counts.values()) < 300
+
+
+class TestInversePermutation:
+    def test_roundtrip(self):
+        permutation = [2, 0, 3, 1]
+        inverse = inverse_permutation(permutation)
+        assert [permutation[i] for i in inverse] == [0, 1, 2, 3]
+
+    def test_identity(self):
+        assert inverse_permutation([0, 1, 2]) == [0, 1, 2]

@@ -1,0 +1,88 @@
+"""Unit tests for the quadtree substrate (§3.2 remark, Looz–Meyerhenke)."""
+
+import pytest
+
+from repro.apps.workloads import clustered_points, uniform_points
+from repro.errors import BuildError
+from repro.substrates.quadtree import QuadTree
+
+
+def brute_force(points, rect):
+    return sorted(
+        p for p in points if all(lo <= c <= hi for (lo, hi), c in zip(rect, p))
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            QuadTree([])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(BuildError):
+            QuadTree([(1.0, 2.0, 3.0)])
+
+    def test_bad_leaf_size_rejected(self):
+        with pytest.raises(BuildError):
+            QuadTree([(0.0, 0.0)], leaf_size=0)
+
+    def test_leaf_order_is_permutation(self):
+        points = uniform_points(100, 2, rng=1)
+        tree = QuadTree(points, leaf_size=4)
+        assert sorted(tree.leaf_items) == sorted(points)
+
+    def test_identical_points_bounded_depth(self):
+        # All-equal points can never split; max_depth must stop recursion.
+        tree = QuadTree([(0.5, 0.5)] * 50, leaf_size=2, max_depth=6)
+        assert tree.count([(0.0, 1.0), (0.0, 1.0)]) == 50
+
+
+class TestCovers:
+    def test_cover_equals_brute_force_uniform(self):
+        points = uniform_points(300, 2, rng=2)
+        tree = QuadTree(points, leaf_size=4)
+        rect = [(0.2, 0.7), (0.1, 0.8)]
+        covered = sorted(
+            tree.leaf_items[i] for lo, hi in tree.find_cover(rect) for i in range(lo, hi)
+        )
+        assert covered == brute_force(points, rect)
+
+    def test_cover_equals_brute_force_clustered(self):
+        points = clustered_points(300, 2, clusters=5, rng=3)
+        tree = QuadTree(points, leaf_size=4)
+        rect = [(0.3, 0.6), (0.3, 0.6)]
+        covered = sorted(
+            tree.leaf_items[i] for lo, hi in tree.find_cover(rect) for i in range(lo, hi)
+        )
+        assert covered == brute_force(points, rect)
+
+    def test_cover_spans_disjoint(self):
+        points = uniform_points(200, 2, rng=4)
+        tree = QuadTree(points, leaf_size=2)
+        seen = set()
+        for lo, hi in tree.find_cover([(0.0, 1.0), (0.0, 1.0)]):
+            for position in range(lo, hi):
+                assert position not in seen
+                seen.add(position)
+
+    def test_wrong_dims_rejected(self):
+        tree = QuadTree([(0.0, 0.0)], leaf_size=1)
+        with pytest.raises(ValueError):
+            tree.find_cover([(0.0, 1.0)])
+
+    def test_empty_cover(self):
+        tree = QuadTree(uniform_points(50, 2, rng=5), leaf_size=4)
+        assert tree.find_cover([(5.0, 6.0), (5.0, 6.0)]) == []
+
+
+class TestReporting:
+    def test_report_count_agree(self):
+        points = uniform_points(150, 2, rng=6)
+        tree = QuadTree(points, leaf_size=6)
+        rect = [(0.25, 0.9), (0.0, 0.4)]
+        assert len(tree.report(rect)) == tree.count(rect)
+
+    def test_node_count_linear_ish(self):
+        points = uniform_points(500, 2, rng=7)
+        tree = QuadTree(points, leaf_size=4)
+        assert tree.node_count < 6 * 500

@@ -1,0 +1,101 @@
+"""Unit tests for the multi-dimensional range tree (§3.2, §5)."""
+
+import pytest
+
+from repro.apps.workloads import uniform_points
+from repro.errors import BuildError
+from repro.substrates.rangetree import RangeTree
+
+
+def brute_force(points, rect):
+    return sorted(
+        p for p in points if all(lo <= c <= hi for (lo, hi), c in zip(rect, p))
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            RangeTree([])
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(BuildError):
+            RangeTree([(1.0, 2.0), (1.0,)])
+
+    def test_weight_mismatch_rejected(self):
+        with pytest.raises(BuildError):
+            RangeTree([(1.0, 2.0)], weights=[1.0, 2.0])
+
+    def test_storage_superlinear_in_2d(self):
+        # Each point is replicated once per primary-tree level: Θ(n log n).
+        n = 256
+        tree = RangeTree(uniform_points(n, 2, rng=1))
+        assert tree.storage_size() > 4 * n
+        assert tree.storage_size() < 3 * n * 10  # ≈ n log2(n) with slack
+
+    def test_one_dimensional_degenerates_to_sorted_array(self):
+        tree = RangeTree([(3.0,), (1.0,), (2.0,)])
+        assert tree.storage_size() == 3
+        assert tree.report([(1.5, 3.5)]) == [(2.0,), (3.0,)]
+
+
+class TestCovers:
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_cover_matches_brute_force(self, dims):
+        points = uniform_points(200, dims, rng=2)
+        tree = RangeTree(points)
+        rect = [(0.15, 0.8)] * dims
+        covered = sorted(
+            tree.leaf_items[i] for lo, hi in tree.find_cover(rect) for i in range(lo, hi)
+        )
+        assert covered == brute_force(points, rect)
+
+    def test_no_double_counting_despite_duplication(self):
+        # Each point is stored at many leaves (footnote 4); a query's cover
+        # must still contain every matching point exactly once.
+        points = uniform_points(150, 2, rng=3)
+        tree = RangeTree(points)
+        rect = [(0.0, 1.0), (0.0, 1.0)]
+        covered = [
+            tree.leaf_items[i] for lo, hi in tree.find_cover(rect) for i in range(lo, hi)
+        ]
+        assert len(covered) == 150
+        assert sorted(covered) == sorted(points)
+
+    def test_cover_size_polylog_2d(self):
+        n = 1 << 10
+        tree = RangeTree(uniform_points(n, 2, rng=4))
+        spans = tree.find_cover([(0.2, 0.8), (0.3, 0.7)])
+        assert len(spans) <= 3 * 10  # O(log n) contiguous runs in 2D
+
+    def test_empty_cover(self):
+        tree = RangeTree(uniform_points(50, 2, rng=5))
+        assert tree.find_cover([(2.0, 3.0), (0.0, 1.0)]) == []
+
+    def test_wrong_dims_rejected(self):
+        tree = RangeTree(uniform_points(10, 2, rng=6))
+        with pytest.raises(ValueError):
+            tree.find_cover([(0.0, 1.0)])
+
+    def test_duplicate_coordinates_handled(self):
+        points = [(1.0, float(i)) for i in range(10)]  # all same x
+        tree = RangeTree(points)
+        rect = [(1.0, 1.0), (2.0, 7.0)]
+        assert tree.count(rect) == 6
+
+    def test_tie_heavy_dataset(self):
+        points = [(float(i % 3), float(i % 2)) for i in range(30)]
+        tree = RangeTree(points)
+        rect = [(0.0, 1.0), (0.0, 0.0)]
+        expected = len(brute_force(points, rect))
+        assert tree.count(rect) == expected
+
+
+class TestWeights:
+    def test_weights_replicated_with_points(self):
+        points = [(float(i), float(-i)) for i in range(8)]
+        weights = [float(i + 1) for i in range(8)]
+        tree = RangeTree(points, weights)
+        weight_of = dict(zip(points, weights))
+        for position, point in enumerate(tree.leaf_items):
+            assert tree.leaf_weights[position] == weight_of[point]

@@ -1,0 +1,84 @@
+"""Unit tests for the KMV distinct-count sketch (§7)."""
+
+import pytest
+
+from repro.errors import BuildError
+from repro.substrates.sketch import KMVSketch, _hash_to_unit
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert _hash_to_unit("x", 7) == _hash_to_unit("x", 7)
+
+    def test_salt_changes_hash(self):
+        assert _hash_to_unit("x", 1) != _hash_to_unit("x", 2)
+
+    def test_in_unit_interval(self):
+        for item in range(100):
+            value = _hash_to_unit(item, 3)
+            assert 0.0 <= value < 1.0
+
+
+class TestSketch:
+    def test_k_too_small_rejected(self):
+        with pytest.raises(BuildError):
+            KMVSketch(k=1)
+
+    def test_small_set_exact(self):
+        sketch = KMVSketch.from_items(range(10), k=64)
+        assert sketch.estimate() == pytest.approx(10.0)
+
+    def test_duplicates_ignored(self):
+        sketch = KMVSketch(k=16)
+        for _ in range(5):
+            sketch.add("same")
+        assert sketch.estimate() == pytest.approx(1.0)
+
+    def test_large_set_estimate_within_rse(self):
+        true_count = 5000
+        sketch = KMVSketch.from_items(range(true_count), k=64, salt=42)
+        estimate = sketch.estimate()
+        # §7 needs a 1.5-approximation; k=64 gives RSE ≈ 12.7 %.
+        assert true_count / 2 <= estimate <= 1.5 * true_count
+
+    def test_retains_at_most_k(self):
+        sketch = KMVSketch.from_items(range(1000), k=8)
+        assert len(sketch) == 8
+
+    def test_estimate_accuracy_across_salts(self):
+        true_count = 2000
+        errors = []
+        for salt in range(10):
+            sketch = KMVSketch.from_items(range(true_count), k=64, salt=salt)
+            errors.append(abs(sketch.estimate() - true_count) / true_count)
+        assert sum(errors) / len(errors) < 0.25
+
+
+class TestMerge:
+    def test_merge_equals_union_sketch(self):
+        a = KMVSketch.from_items(range(0, 600), k=32, salt=5)
+        b = KMVSketch.from_items(range(400, 1000), k=32, salt=5)
+        merged = a.merge(b)
+        direct = KMVSketch.from_items(range(0, 1000), k=32, salt=5)
+        assert merged.estimate() == pytest.approx(direct.estimate())
+
+    def test_merge_different_salts_rejected(self):
+        a = KMVSketch(k=8, salt=1)
+        b = KMVSketch(k=8, salt=2)
+        with pytest.raises(BuildError):
+            a.merge(b)
+
+    def test_merge_uses_smaller_k(self):
+        a = KMVSketch.from_items(range(100), k=8, salt=1)
+        b = KMVSketch.from_items(range(100), k=16, salt=1)
+        assert a.merge(b).k == 8
+
+    def test_merge_disjoint_sets_adds_up(self):
+        a = KMVSketch.from_items(range(0, 20), k=64, salt=9)
+        b = KMVSketch.from_items(range(20, 45), k=64, salt=9)
+        assert a.merge(b).estimate() == pytest.approx(45.0)
+
+    def test_merge_is_commutative(self):
+        a = KMVSketch.from_items(range(0, 500), k=16, salt=3)
+        b = KMVSketch.from_items(range(300, 800), k=16, salt=3)
+        assert a.merge(b).estimate() == pytest.approx(b.merge(a).estimate())

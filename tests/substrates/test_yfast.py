@@ -1,0 +1,112 @@
+"""Unit tests for the y-fast trie predecessor substrate (§4.3 remark)."""
+
+import random
+from bisect import bisect_right
+
+import pytest
+
+from repro.errors import BuildError
+from repro.substrates.yfast import YFastTrie
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            YFastTrie([])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(BuildError):
+            YFastTrie([5, 3])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(BuildError):
+            YFastTrie([3, 3])
+
+    def test_negative_rejected(self):
+        with pytest.raises(BuildError):
+            YFastTrie([-1, 3])
+
+    def test_universe_too_small_rejected(self):
+        with pytest.raises(BuildError):
+            YFastTrie([100], universe_bits=4)
+
+    def test_singleton(self):
+        trie = YFastTrie([42])
+        assert trie.predecessor(41) is None
+        assert trie.predecessor(42) == 42
+        assert trie.predecessor(100) == 42
+
+
+class TestPredecessor:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_bisect_randomized(self, seed):
+        rng = random.Random(seed)
+        keys = sorted(rng.sample(range(1 << 20), 2000))
+        trie = YFastTrie(keys)
+        for query in rng.sample(range((1 << 20) + 1000), 3000):
+            expected = bisect_right(keys, query) - 1
+            actual = trie.predecessor_index(query)
+            if expected < 0:
+                assert actual is None
+            else:
+                assert actual == expected
+
+    def test_exact_keys(self):
+        keys = [3, 7, 100, 1000]
+        trie = YFastTrie(keys)
+        for index, key in enumerate(keys):
+            assert trie.predecessor_index(key) == index
+
+    def test_dense_keys(self):
+        keys = list(range(100))
+        trie = YFastTrie(keys)
+        for query in range(100):
+            assert trie.predecessor(query) == query
+
+    def test_above_universe(self):
+        trie = YFastTrie([1, 5, 9], universe_bits=8)
+        assert trie.predecessor(1_000_000) == 9
+
+    def test_verify_helper(self):
+        trie = YFastTrie(sorted(random.Random(4).sample(range(10_000), 300)))
+        assert all(trie.verify_against_bisect(q) for q in range(0, 11_000, 37))
+
+
+class TestSuccessor:
+    def test_successor_basics(self):
+        trie = YFastTrie([10, 20, 30])
+        assert trie.successor(5) == 10
+        assert trie.successor(10) == 10
+        assert trie.successor(11) == 20
+        assert trie.successor(30) == 30
+        assert trie.successor(31) is None
+
+    def test_matches_reference(self):
+        rng = random.Random(5)
+        keys = sorted(rng.sample(range(1 << 16), 500))
+        trie = YFastTrie(keys)
+        for query in rng.sample(range(1 << 16), 1000):
+            expected = next((key for key in keys if key >= query), None)
+            assert trie.successor(query) == expected
+
+
+class TestSpan:
+    def test_span_matches_bisect(self):
+        rng = random.Random(6)
+        keys = sorted(rng.sample(range(1 << 16), 800))
+        trie = YFastTrie(keys)
+        from bisect import bisect_left
+
+        for _ in range(500):
+            x = rng.randrange(1 << 16)
+            y = x + rng.randrange(1 << 12)
+            assert trie.span_of(x, y) == (
+                bisect_left(keys, x),
+                bisect_right(keys, y),
+            ) or trie.span_of(x, y) == (0, 0) and bisect_left(keys, x) >= bisect_right(keys, y)
+
+    def test_empty_and_inverted(self):
+        trie = YFastTrie([10, 20])
+        assert trie.span_of(30, 40) == (0, 0)
+        assert trie.span_of(20, 10) == (0, 0)
+        assert trie.span_of(11, 19) == (0, 0)

@@ -1,0 +1,63 @@
+"""The public API surface: every exported name resolves and is documented."""
+
+import inspect
+
+import repro
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name!r}"
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_public_classes_have_docstrings(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_version_present(self):
+        assert repro.__version__
+
+    def test_errors_form_one_hierarchy(self):
+        from repro.errors import (
+            BuildError,
+            EmptyQueryError,
+            ExternalMemoryError,
+            IQSError,
+            InvalidWeightError,
+            SampleBudgetExceededError,
+        )
+
+        for error in (
+            BuildError,
+            EmptyQueryError,
+            ExternalMemoryError,
+            InvalidWeightError,
+            SampleBudgetExceededError,
+        ):
+            assert issubclass(error, IQSError)
+        assert issubclass(InvalidWeightError, BuildError)
+
+
+class TestValidationHelpers:
+    def test_validate_weights_casts_to_float(self):
+        from repro.validation import validate_weights
+
+        assert validate_weights([1, 2]) == [1.0, 2.0]
+
+    def test_validate_sample_size_accepts_ints_only(self):
+        import pytest
+
+        from repro.validation import validate_sample_size
+
+        assert validate_sample_size(3) == 3
+        with pytest.raises(TypeError):
+            validate_sample_size(True)
+        with pytest.raises(TypeError):
+            validate_sample_size("3")
+        with pytest.raises(ValueError):
+            validate_sample_size(-1)
