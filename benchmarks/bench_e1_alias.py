@@ -25,3 +25,13 @@ def bench_sample_1000(benchmark, n):
     sampler = AliasSampler(list(range(n)), zipf_weights(n, rng=1), rng=3)
     benchmark.group = "e1-sample-1000"
     benchmark(lambda: sampler.sample_many(1000))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_sample_many_scalar_vs_batch(benchmark, batch_mode, n):
+    """Scalar-vs-batch comparison column: s = 10⁴ draws per call."""
+    sampler = AliasSampler(list(range(n)), zipf_weights(n, rng=1), rng=3)
+    sampler.sample_many(10_000)  # warm lazy kernel caches
+    benchmark.group = f"e1-batch-vs-scalar-n{n}"
+    benchmark.extra_info["mode"] = batch_mode
+    benchmark(lambda: sampler.sample_many(10_000))

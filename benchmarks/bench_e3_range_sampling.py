@@ -56,3 +56,15 @@ def bench_theorem3_sample_size_sweep(benchmark, dataset, s):
     x, y = queries[0.1]
     benchmark.group = "e3-s-sweep"
     benchmark(lambda: sampler.sample(x, y, s))
+
+
+@pytest.mark.parametrize("name", list(SAMPLERS))
+def bench_range_scalar_vs_batch(benchmark, dataset, batch_mode, name):
+    """Scalar-vs-batch comparison column: s = 10⁴ draws at selectivity 0.5."""
+    keys, weights, queries = dataset
+    sampler = SAMPLERS[name](keys, weights, rng=6)
+    x, y = queries[0.5]
+    sampler.sample(x, y, 10_000)  # warm lazy kernel caches
+    benchmark.group = f"e3-batch-vs-scalar-{name}"
+    benchmark.extra_info["mode"] = batch_mode
+    benchmark(lambda: sampler.sample(x, y, 10_000))

@@ -10,6 +10,31 @@ Run with::
 import sys
 from pathlib import Path
 
+import pytest
+
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(params=["scalar", "batch"])
+def batch_mode(request):
+    """Run a benchmark under both sampling paths for A/B comparison.
+
+    ``scalar`` forces the pure-Python loops (the seed behaviour);
+    ``batch`` keeps the numpy kernel dispatch (skipped when numpy is
+    unavailable). EXPERIMENTS.md records the measured ratio.
+    """
+    from repro.core import kernels
+
+    if request.param == "scalar":
+        saved = kernels.HAVE_NUMPY
+        kernels.HAVE_NUMPY = False
+        try:
+            yield "scalar"
+        finally:
+            kernels.HAVE_NUMPY = saved
+    else:
+        if not kernels.HAVE_NUMPY:
+            pytest.skip("numpy unavailable — no batch path to measure")
+        yield "batch"

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core import kernels
 from repro.core.set_union import SetUnionSampler
 from repro.errors import BuildError, EmptyQueryError, SampleBudgetExceededError
 from repro.substrates.grid import Point, ShiftedGrids
@@ -55,6 +56,7 @@ class FairNearNeighbor:
         self._union_sampler = SetUnionSampler(self._grids.family, rng=self._rng)
         self._max_rejects = max_rejects_per_sample
         self.total_rejections = 0
+        self._np_points = None  # numpy copy of the point set, built lazily
 
     def __len__(self) -> int:
         return len(self._points)
@@ -99,9 +101,57 @@ class FairNearNeighbor:
             self.total_rejections += 1
 
     def sample_many(self, query: Point, s: int) -> List[Point]:
-        """``s`` independent r-fair nearest neighbors (IQS, s ≥ 1)."""
+        """``s`` independent r-fair nearest neighbors (IQS, s ≥ 1).
+
+        The batch path draws candidate blocks from the set-union sampler's
+        batched kernel and filters them by distance in one vectorized
+        pass, preserving the per-sample rejection semantics of
+        :meth:`sample` (same acceptance predicate, same budget).
+        """
         validate_sample_size(s)
-        return [self.sample(query) for _ in range(s)]
+        if not kernels.use_batch(s):
+            return [self.sample(query) for _ in range(s)]
+        group = self.candidate_sets(query)
+        if not group:
+            raise EmptyQueryError(f"no points within {self.radius} of {query!r}")
+        np = kernels.np
+        if self._np_points is None:
+            self._np_points = np.asarray(self._points, dtype=np.float64)
+        points = self._np_points
+        query_arr = np.asarray(query, dtype=np.float64)
+        budget = self._max_rejects * s
+        attempts = 0
+        result: List[Point] = []
+        while len(result) < s:
+            need = s - len(result)
+            block = min(max(32, 2 * need), budget - attempts)
+            if block <= 0:
+                if not self.near_points(query):
+                    raise EmptyQueryError(
+                        f"no points within {self.radius} of {query!r}"
+                    )
+                raise SampleBudgetExceededError(
+                    "fair-NN rejection budget exhausted — candidate cells hold "
+                    "too few in-ball points for query "
+                    f"{query!r}"
+                )
+            indices = np.asarray(
+                self._union_sampler.sample_many(group, block), dtype=np.intp
+            )
+            distances = np.sqrt(((points[indices] - query_arr) ** 2).sum(axis=1))
+            accepted = distances <= self.radius
+            # Count attempts/rejections only up to the draw that yields
+            # the s-th accepted sample, matching the scalar loop.
+            cumulative = np.cumsum(accepted)
+            if cumulative[-1] >= need:
+                cutoff = int(np.searchsorted(cumulative, need))
+            else:
+                cutoff = block - 1
+            attempts += cutoff + 1
+            self.total_rejections += int((~accepted[: cutoff + 1]).sum())
+            for index in indices[: cutoff + 1][accepted[: cutoff + 1]].tolist():
+                result.append(self._points[index])
+        return result
 
     def sample_distinct(self, query: Point, s: int) -> List[Point]:
         """``s`` *distinct* r-near neighbors (WoR scheme, §1).

@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.core import kernels
 from repro.errors import BuildError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size, validate_weights
@@ -106,7 +107,16 @@ class AliasSampler(Generic[T]):
     True
     """
 
-    __slots__ = ("_items", "_prob", "_alias", "_total_weight", "_weights", "_rng")
+    __slots__ = (
+        "_items",
+        "_items_view",
+        "_prob",
+        "_alias",
+        "_total_weight",
+        "_weights",
+        "_rng",
+        "_np_tables",
+    )
 
     def __init__(
         self,
@@ -122,10 +132,12 @@ class AliasSampler(Generic[T]):
             raise BuildError(f"got {len(items)} items but {len(weights)} weights")
         cleaned = validate_weights(weights, context="AliasSampler")
         self._items: List[T] = list(items)
+        self._items_view: Tuple[T, ...] = tuple(self._items)
         self._weights = cleaned
         self._total_weight = float(sum(cleaned))
         self._rng = ensure_rng(rng)
         self._prob, self._alias = build_alias_tables(cleaned)
+        self._np_tables = None  # numpy copy of the urn tables, built lazily
 
     # ------------------------------------------------------------------
     # sampling
@@ -140,15 +152,30 @@ class AliasSampler(Generic[T]):
         return self._items[self.sample_index()]
 
     def sample_many(self, s: int) -> List[T]:
-        """Draw ``s`` independent weighted samples in O(s)."""
+        """Draw ``s`` independent weighted samples in O(s).
+
+        Dispatches to the vectorized alias kernel when numpy is available
+        and ``s`` is large enough to amortise the kernel call.
+        """
         validate_sample_size(s)
         items = self._items
+        if kernels.use_batch(s):
+            return [items[i] for i in self._batch_indices(s)]
         return [items[self.sample_index()] for _ in range(s)]
 
     def sample_indices(self, s: int) -> List[int]:
         """Draw ``s`` independent sample indices in O(s)."""
         validate_sample_size(s)
+        if kernels.use_batch(s):
+            return self._batch_indices(s)
         return [self.sample_index() for _ in range(s)]
+
+    def _batch_indices(self, s: int) -> List[int]:
+        if self._np_tables is None:
+            self._np_tables = kernels.as_alias_arrays(self._prob, self._alias)
+        prob, alias = self._np_tables
+        gen = kernels.batch_generator(self._rng)
+        return kernels.alias_draw_batch(prob, alias, s, gen).tolist()
 
     # ------------------------------------------------------------------
     # introspection
@@ -159,8 +186,8 @@ class AliasSampler(Generic[T]):
 
     @property
     def items(self) -> Sequence[T]:
-        """The underlying item set (read-only view)."""
-        return tuple(self._items)
+        """The underlying item set (read-only view, cached at build time)."""
+        return self._items_view
 
     @property
     def total_weight(self) -> float:

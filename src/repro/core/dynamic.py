@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Generic, List, Optional, Tuple, TypeVar
 
+from repro.core import kernels
 from repro.errors import EmptyQueryError, InvalidWeightError
 from repro.substrates.fenwick import FenwickTree
 from repro.substrates.rng import RNGLike, ensure_rng
@@ -106,8 +107,31 @@ class FenwickDynamicSampler(Generic[T]):
         return self._items[self._tree.find_prefix(target)]  # type: ignore[return-value]
 
     def sample_many(self, s: int) -> List[T]:
+        """``s`` independent weighted samples.
+
+        The batch path replaces ``s`` Fenwick descents with one prefix-sum
+        pass plus a vectorized binary search over all targets: O(n + s
+        log n) numpy work instead of O(s log n) interpreted work.
+        """
         validate_sample_size(s)
+        if self._size > 0 and kernels.use_batch(s):
+            return self._sample_many_batch(s)
         return [self.sample() for _ in range(s)]
+
+    def _sample_many_batch(self, s: int) -> List[T]:
+        np = kernels.np
+        gen = kernels.batch_generator(self._rng)
+        cum = np.cumsum(np.asarray(self._weights, dtype=np.float64))
+        slots = kernels.inverse_cdf_draw_batch(cum, s, gen)
+        items = self._items
+        result: List[T] = []
+        for slot in slots.tolist():
+            value = items[slot]
+            if value is _TOMBSTONE:
+                # Float-boundary stray onto a zero-weight slot; redraw.
+                value = self.sample()
+            result.append(value)  # type: ignore[arg-type]
+        return result
 
     def _item_at(self, handle: int) -> T:
         if not 0 <= handle < len(self._items) or self._items[handle] is _TOMBSTONE:
@@ -262,5 +286,53 @@ class BucketDynamicSampler(Generic[T]):
                 return items[index]  # type: ignore[return-value]
 
     def sample_many(self, s: int) -> List[T]:
+        """``s`` independent weighted samples.
+
+        The batch path snapshots the buckets into flat arrays once, then
+        runs the bucket-choice / in-bucket-pick / rejection-coin pipeline
+        for whole blocks of proposals per numpy call (acceptance ≥ 1/2, so
+        a block of ``2·need`` proposals usually finishes the request).
+        """
         validate_sample_size(s)
+        if self._size > 0 and kernels.use_batch(s):
+            return self._sample_many_batch(s)
         return [self.sample() for _ in range(s)]
+
+    def _sample_many_batch(self, s: int) -> List[T]:
+        np = kernels.np
+        gen = kernels.batch_generator(self._rng)
+        flat_items: List[object] = []
+        flat_weights: List[float] = []
+        offsets: List[int] = []
+        lengths: List[int] = []
+        ceilings: List[float] = []
+        for bucket, members in self._bucket_items.items():
+            offsets.append(len(flat_items))
+            lengths.append(len(members))
+            ceilings.append(math.ldexp(1.0, bucket + 1))
+            flat_items.extend(members)
+            flat_weights.extend(self._bucket_weights[bucket])
+        offsets_arr = np.asarray(offsets, dtype=np.intp)
+        lengths_arr = np.asarray(lengths, dtype=np.intp)
+        ceilings_arr = np.asarray(ceilings, dtype=np.float64)
+        flat_w = np.asarray(flat_weights, dtype=np.float64)
+        cum_bound = np.cumsum(lengths_arr * ceilings_arr)
+        total_bound = cum_bound[-1]
+
+        result: List[T] = []
+        while len(result) < s:
+            need = s - len(result)
+            block = max(32, 2 * need)
+            targets = gen.random(block) * total_bound
+            buckets = np.minimum(
+                np.searchsorted(cum_bound, targets, side="right"), len(cum_bound) - 1
+            )
+            picks = np.minimum(
+                (gen.random(block) * lengths_arr[buckets]).astype(np.intp),
+                lengths_arr[buckets] - 1,
+            )
+            flat_index = offsets_arr[buckets] + picks
+            accepted = gen.random(block) * ceilings_arr[buckets] < flat_w[flat_index]
+            for index in flat_index[accepted][:need].tolist():
+                result.append(flat_items[index])  # type: ignore[arg-type]
+        return result

@@ -24,6 +24,7 @@ import math
 from bisect import bisect_left, bisect_right
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core import kernels
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
 from repro.core.schemes import multinomial_split
 from repro.errors import BuildError, EmptyQueryError
@@ -149,6 +150,7 @@ class TreeWalkRangeSampler(RangeSamplerBase):
         super().__init__(keys, weights)
         self._tree = StaticBST(self.keys, self.weights)
         self._rng = ensure_rng(rng)
+        self._np_tree = None  # numpy copy of the BST arrays, built lazily
 
     def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
         validate_sample_size(s)
@@ -159,6 +161,8 @@ class TreeWalkRangeSampler(RangeSamplerBase):
         cover = tree.canonical_nodes_for_span(lo, hi)
         cover_weights = [tree.node_weight(u) for u in cover]
         prob, alias = build_alias_tables(cover_weights)
+        if kernels.use_batch(s):
+            return self._sample_span_batch(cover, prob, alias, s)
         result: List[int] = []
         for _ in range(s):
             node = cover[alias_draw(prob, alias, rng)]
@@ -170,6 +174,25 @@ class TreeWalkRangeSampler(RangeSamplerBase):
                     node = right
             result.append(tree.leaf_span(node)[0])
         return result
+
+    def _sample_span_batch(self, cover, prob, alias, s: int) -> List[int]:
+        """Batched §3.2 walk: draw all cover nodes, then descend all
+        ``s`` tokens level-by-level in vectorized steps."""
+        np = kernels.np
+        if self._np_tree is None:
+            left, right, node_weight, span_lo = self._tree.packed_arrays()
+            self._np_tree = (
+                np.asarray(left, dtype=np.intp),
+                np.asarray(right, dtype=np.intp),
+                np.asarray(node_weight, dtype=np.float64),
+                np.asarray(span_lo, dtype=np.intp),
+            )
+        left, right, node_weight, span_lo = self._np_tree
+        gen = kernels.batch_generator(self._rng)
+        cover_ids = np.asarray(cover, dtype=np.intp)
+        starts = cover_ids[kernels.alias_draw_batch(prob, alias, s, gen)]
+        leaves = kernels.bst_topdown_batch(left, right, node_weight, starts, gen)
+        return span_lo[leaves].tolist()
 
     def space_words(self) -> int:
         # 6 words per node (children, span, key, weight), 2n-1 nodes.
@@ -201,6 +224,8 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
             if not self._tree.is_leaf(node):
                 node_lo, node_hi = self._tree.leaf_span(node)
                 self._node_tables[node] = build_alias_tables(self.weights[node_lo:node_hi])
+        # numpy copies of per-node tables, converted on first batched use.
+        self._np_node_tables: dict = {}
 
     def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
         validate_sample_size(s)
@@ -210,6 +235,8 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
         rng = self._rng
         cover = tree.canonical_nodes_for_span(lo, hi)
         counts = multinomial_split([tree.node_weight(u) for u in cover], s, rng)
+        batched = kernels.use_batch(s)
+        gen = kernels.batch_generator(rng) if batched else None
         result: List[int] = []
         for node, count in zip(cover, counts):
             if count == 0:
@@ -218,10 +245,22 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
             tables = self._node_tables[node]
             if tables is None:  # leaf
                 result.extend([node_lo] * count)
+            elif batched and count >= kernels.BATCH_MIN_SIZE:
+                prob, alias = self._np_tables_for(node)
+                draws = kernels.alias_draw_batch(prob, alias, count, gen)
+                result.extend((node_lo + draws).tolist())
             else:
                 prob, alias = tables
                 result.extend(node_lo + alias_draw(prob, alias, rng) for _ in range(count))
         return result
+
+    def _np_tables_for(self, node: int):
+        tables = self._np_node_tables.get(node)
+        if tables is None:
+            prob, alias = self._node_tables[node]
+            tables = kernels.as_alias_arrays(prob, alias)
+            self._np_node_tables[node] = tables
+        return tables
 
     def space_words(self) -> int:
         tree_words = 6 * self._tree.node_count
@@ -276,6 +315,8 @@ class ChunkedRangeSampler(RangeSamplerBase):
             chunk_weights.append(sum(block))
             self._chunk_tables.append(build_alias_tables(block))
         self._chunk_weights = chunk_weights
+        # Packed numpy copy of the per-chunk tables, built on first batched use.
+        self._np_chunk_matrix = None
         # Range-sum structure of §4.2 over chunk weights.
         self._chunk_sums = FenwickTree(chunk_weights)
         # T_chunk: Lemma-2 structure over the chunk-level weighted set,
@@ -326,12 +367,18 @@ class ChunkedRangeSampler(RangeSamplerBase):
         """Draw from a partial chunk via an on-the-fly alias structure."""
         prob, alias = build_alias_tables(self.weights[lo:hi])
         rng = self._rng
+        if kernels.use_batch(count):
+            gen = kernels.batch_generator(rng)
+            draws = kernels.alias_draw_batch(prob, alias, count, gen)
+            return (lo + draws).tolist()
         return [lo + alias_draw(prob, alias, rng) for _ in range(count)]
 
     def _sample_chunk_aligned(self, chunk_lo: int, chunk_hi: int, count: int) -> List[int]:
         """Two-level sampling over fully covered chunks (§4.2)."""
         rng = self._rng
         chunk_draws = self._t_chunk.sample_span(chunk_lo, chunk_hi, count)
+        if kernels.use_batch(count):
+            return self._chunk_level_batch(chunk_draws)
         per_chunk: dict = {}
         for chunk in chunk_draws:
             per_chunk[chunk] = per_chunk.get(chunk, 0) + 1
@@ -341,6 +388,40 @@ class ChunkedRangeSampler(RangeSamplerBase):
             prob, alias = self._chunk_tables[chunk]
             result.extend(c_lo + alias_draw(prob, alias, rng) for _ in range(chunk_count))
         return result
+
+    def _chunk_level_batch(self, chunk_draws: List[int]) -> List[int]:
+        """Resolve a batch of chunk draws to element indices in one pass.
+
+        All per-chunk alias tables are packed into ``g × chunk_size``
+        matrices (built lazily, O(n) space — the structure is already
+        O(n)), so the intra-chunk draw for every token is a single
+        vectorized urn-pick + biased-coin step regardless of how the
+        tokens scatter across chunks.
+        """
+        np = kernels.np
+        if self._np_chunk_matrix is None:
+            g = self._num_chunks
+            width = self._chunk_size
+            prob_mat = np.ones((g, width), dtype=np.float64)
+            alias_mat = np.zeros((g, width), dtype=np.intp)
+            lengths = np.empty(g, dtype=np.intp)
+            for chunk, (prob, alias) in enumerate(self._chunk_tables):
+                size = len(prob)
+                prob_mat[chunk, :size] = prob
+                alias_mat[chunk, :size] = alias
+                lengths[chunk] = size
+            starts = np.arange(g, dtype=np.intp) * width
+            self._np_chunk_matrix = (prob_mat, alias_mat, lengths, starts)
+        prob_mat, alias_mat, lengths, starts = self._np_chunk_matrix
+        gen = kernels.batch_generator(self._rng)
+        chunks = np.asarray(chunk_draws, dtype=np.intp)
+        count = len(chunks)
+        urns = np.minimum(
+            (gen.random(count) * lengths[chunks]).astype(np.intp), lengths[chunks] - 1
+        )
+        keep = gen.random(count) < prob_mat[chunks, urns]
+        picks = np.where(keep, urns, alias_mat[chunks, urns])
+        return (starts[chunks] + picks).tolist()
 
     def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
         validate_sample_size(s)

@@ -17,12 +17,13 @@ collision-rejection WoR wrapper usable with any WR sampler.
 from __future__ import annotations
 
 import random
-from typing import Callable, Hashable, List, Sequence, Set, TypeVar
+from typing import Callable, Hashable, List, Optional, Sequence, Set, TypeVar
 
+from repro.core import kernels
 from repro.core.alias import AliasSampler
 from repro.errors import EmptyQueryError, SampleBudgetExceededError
 from repro.substrates.rng import RNGLike, ensure_rng
-from repro.validation import validate_sample_size
+from repro.validation import validate_sample_size, validate_weights
 
 T = TypeVar("T", bound=Hashable)
 
@@ -38,6 +39,11 @@ def multinomial_split(weights: Sequence[float], s: int, rng: RNGLike = None) -> 
     """
     validate_sample_size(s)
     generator = ensure_rng(rng)
+    if kernels.use_batch(s) and len(weights) > 0:
+        cleaned = validate_weights(weights, context="multinomial_split")
+        return kernels.multinomial_split_batch(
+            cleaned, s, kernels.batch_generator(generator)
+        )
     alias = AliasSampler(list(range(len(weights))), weights, rng=generator)
     counts = [0] * len(weights)
     for part in alias.sample_indices(s):

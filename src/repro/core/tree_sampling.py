@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import kernels
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
 from repro.core.range_sampler import ChunkedRangeSampler
 from repro.errors import BuildError, InvalidWeightError
@@ -189,6 +190,9 @@ class TreeSampler:
             if not tree.is_leaf(node):
                 child_weights = [tree.weight(c) for c in tree.children(node)]
                 self._child_tables[node] = build_alias_tables(child_weights)
+        # numpy copies of (prob, alias, children) per node, built lazily.
+        self._np_child_tables: Dict[int, tuple] = {}
+        self._np_leaf_mask = None
 
     @property
     def tree(self) -> Tree:
@@ -205,9 +209,50 @@ class TreeSampler:
         return node
 
     def sample_many(self, q: int, s: int) -> List[int]:
-        """``s`` independent weighted leaf samples (O(s · height))."""
+        """``s`` independent weighted leaf samples (O(s · height)).
+
+        The batch path descends all ``s`` tokens together, one vectorized
+        alias draw per (level, distinct node) pair: tokens sharing a node
+        are grouped so the per-draw cost is a numpy element-op, not a
+        Python loop iteration.
+        """
         validate_sample_size(s)
+        if kernels.use_batch(s):
+            return self._sample_many_batch(q, s)
         return [self.sample(q) for _ in range(s)]
+
+    def _sample_many_batch(self, q: int, s: int) -> List[int]:
+        np = kernels.np
+        tree = self._tree
+        if self._np_leaf_mask is None:
+            self._np_leaf_mask = np.fromiter(
+                (tree.is_leaf(v) for v in range(len(tree))), dtype=bool, count=len(tree)
+            )
+        leaf = self._np_leaf_mask
+        gen = kernels.batch_generator(self._rng)
+        nodes = np.full(s, q, dtype=np.intp)
+        while True:
+            pending = np.nonzero(~leaf[nodes])[0]
+            if len(pending) == 0:
+                break
+            for node in np.unique(nodes[pending]):
+                prob, alias, children = self._np_tables_for(int(node))
+                at = pending[nodes[pending] == node]
+                choices = kernels.alias_draw_batch(prob, alias, len(at), gen)
+                nodes[at] = children[choices]
+        return nodes.tolist()
+
+    def _np_tables_for(self, node: int):
+        tables = self._np_child_tables.get(node)
+        if tables is None:
+            prob, alias = self._child_tables[node]
+            np_prob, np_alias = kernels.as_alias_arrays(prob, alias)
+            children = kernels.np.asarray(
+                self._tree.children(node), dtype=kernels.np.intp
+            )
+            tables = (np_prob, np_alias, children)
+            self._np_child_tables[node] = tables
+        return tables
 
 
 class FlatTreeSampler:
@@ -268,10 +313,14 @@ class FlatTreeSampler:
         validate_sample_size(s)
         lo, hi = self._span[q]
         if self._uniform:
-            rng = self._rng
-            width = hi - lo
-            positions = [lo + int(rng.random() * width) for _ in range(s)]
-            positions = [min(position, hi - 1) for position in positions]
+            if kernels.use_batch(s):
+                gen = kernels.batch_generator(self._rng)
+                positions = kernels.uniform_index_batch(lo, hi, s, gen).tolist()
+            else:
+                rng = self._rng
+                width = hi - lo
+                positions = [lo + int(rng.random() * width) for _ in range(s)]
+                positions = [min(position, hi - 1) for position in positions]
         else:
             assert self._range_sampler is not None
             positions = self._range_sampler.sample_span(lo, hi, s)

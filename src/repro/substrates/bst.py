@@ -127,6 +127,16 @@ class StaticBST:
         """Routing key: smallest leaf key in the right subtree (§3.2)."""
         return self._node_key[node]
 
+    def packed_arrays(self) -> Tuple[List[int], List[int], List[float], List[int]]:
+        """Raw ``(left, right, node_weight, span_lo)`` parallel lists.
+
+        ``left[u] == NO_CHILD`` iff ``u`` is a leaf, and ``span_lo[u]`` is
+        the first sorted-key index below ``u``. Exposed for the vectorized
+        tree-walk kernel, which needs flat arrays rather than per-node
+        method calls; callers must not mutate the lists.
+        """
+        return self._left, self._right, self._node_weight, self._lo
+
     def node_weight(self, node: int) -> float:
         """``w(u)``: total weight of leaf keys in the subtree of ``node``."""
         return self._node_weight[node]

@@ -73,9 +73,12 @@ class TestSampling:
         with pytest.raises(IndexError):
             sampler.sample([5])
 
+    @pytest.mark.slow
     def test_uniform_over_overlapping_union(self):
         # Heavy overlap: naive "pick set then member" would bias toward
         # elements in many sets; Theorem 8 must stay uniform.
+        # Slow: 30k scalar draws; the batch path's uniformity over the same
+        # family is covered by tests/core/test_batch_kernels.py.
         family = [[1, 2, 3, 4, 5], [4, 5, 6], [5, 6, 7]]
         sampler = SetUnionSampler(family, rng=8)
         samples = [sampler.sample([0, 1, 2]) for _ in range(30_000)]

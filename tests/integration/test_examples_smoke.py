@@ -34,7 +34,7 @@ class TestExamples:
     @pytest.mark.parametrize(
         "name",
         [
-            "selectivity_estimation.py",
+            pytest.param("selectivity_estimation.py", marks=pytest.mark.slow),
             "external_memory_demo.py",
         ],
     )

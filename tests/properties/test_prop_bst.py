@@ -16,7 +16,7 @@ def keys_and_query(draw):
 
 
 @given(data=keys_and_query())
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=100, deadline=None)
 def test_canonical_nodes_partition_the_result(data):
     keys, x, y = data
     tree = StaticBST(keys)
@@ -30,7 +30,7 @@ def test_canonical_nodes_partition_the_result(data):
 
 
 @given(data=keys_and_query())
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=100, deadline=None)
 def test_cover_size_within_2log(data):
     keys, x, y = data
     tree = StaticBST(keys)

@@ -18,7 +18,7 @@ def sampler_and_span(draw):
 
 
 @given(data=sampler_and_span())
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=100, deadline=None)
 def test_query_split_partitions_span(data):
     """The Figure-2 decomposition covers [lo, hi) exactly once."""
     sampler, lo, hi = data

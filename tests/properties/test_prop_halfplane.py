@@ -43,7 +43,7 @@ def test_layers_partition(points):
     a=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
     b=st.floats(min_value=-120.0, max_value=120.0, allow_nan=False),
 )
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=100, deadline=None)
 def test_halfplane_cover_matches_brute_force(points, a, b):
     index = HalfplaneIndex(points)
     expected = sorted(p for p in points if p[1] - a * p[0] - b <= 0)

@@ -39,7 +39,7 @@ def test_floyd_wor_always_distinct(bounds, seed, data):
     x=st.floats(min_value=-10.0, max_value=310.0, allow_nan=False),
     width=st.floats(min_value=0.0, max_value=320.0, allow_nan=False),
 )
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=100, deadline=None)
 def test_complement_cover_invariants(n, x, width):
     """The three §6 approximate-cover conditions, for every query."""
     index = ComplementRangeIndex([float(i) for i in range(n)])

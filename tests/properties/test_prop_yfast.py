@@ -26,7 +26,7 @@ def keys_and_queries(draw):
 
 
 @given(data=keys_and_queries())
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=100, deadline=None)
 def test_predecessor_matches_bisect(data):
     keys, queries = data
     trie = YFastTrie(keys)
