@@ -35,3 +35,13 @@ def bench_sample_many_scalar_vs_batch(benchmark, batch_mode, n):
     benchmark.group = f"e1-batch-vs-scalar-n{n}"
     benchmark.extra_info["mode"] = batch_mode
     benchmark(lambda: sampler.sample_many(10_000))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_build_scalar_vs_batch(benchmark, batch_mode, n):
+    """Construction column (PR 2): vectorized vs stack-loop Vose build."""
+    weights = zipf_weights(n, rng=1)
+    items = list(range(n))
+    benchmark.group = f"e1-build-batch-vs-scalar-n{n}"
+    benchmark.extra_info["mode"] = batch_mode
+    benchmark(lambda: AliasSampler(items, weights, rng=2))

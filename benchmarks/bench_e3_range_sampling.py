@@ -68,3 +68,32 @@ def bench_range_scalar_vs_batch(benchmark, dataset, batch_mode, name):
     benchmark.group = f"e3-batch-vs-scalar-{name}"
     benchmark.extra_info["mode"] = batch_mode
     benchmark(lambda: sampler.sample(x, y, 10_000))
+
+
+@pytest.mark.parametrize("name", ["treewalk", "lemma2", "theorem3"])
+def bench_build_scalar_vs_batch(benchmark, dataset, batch_mode, name):
+    """Construction column (PR 2): vectorized vs pure-Python structure
+    build. The Lemma-2 row exercises the flat segmented Vose kernel over
+    all O(n log n) urns; the Theorem-3 row the packed per-chunk build."""
+    keys, weights, _ = dataset
+    benchmark.group = f"e3-build-batch-vs-scalar-{name}"
+    benchmark.extra_info["mode"] = batch_mode
+    benchmark(lambda: SAMPLERS[name](keys, weights, rng=7))
+
+
+@pytest.mark.parametrize("cache", ["cold", "warm"])
+@pytest.mark.parametrize("name", ["treewalk", "theorem3"])
+def bench_repeated_range_plan_cache(benchmark, dataset, name, cache):
+    """Warm vs cold plan cache on a hot-range workload (PR 2).
+
+    ``cold`` disables the :class:`QueryPlanCache` (capacity 0), ``warm``
+    uses the default capacity; EXPERIMENTS.md records the latency ratio.
+    """
+    keys, weights, queries = dataset
+    x, y = queries[0.1]
+    cache_size = 0 if cache == "cold" else None
+    sampler = SAMPLERS[name](keys, weights, rng=8, plan_cache_size=cache_size)
+    sampler.sample(x, y, 4)  # prime the plan (a no-op when disabled)
+    benchmark.group = f"e3-plan-cache-{name}"
+    benchmark.extra_info["mode"] = cache
+    benchmark(lambda: sampler.sample(x, y, 4))

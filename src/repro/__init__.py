@@ -36,6 +36,7 @@ from repro.core import (
     NaiveRangeSampler,
     NaiveSetUnionSampler,
     PrecomputedCoverSampler,
+    QueryPlanCache,
     SetUnionSampler,
     Tree,
     TreeSampler,
@@ -103,6 +104,7 @@ __all__ = [
     "NaiveRangeSampler",
     "NaiveSetUnionSampler",
     "PrecomputedCoverSampler",
+    "QueryPlanCache",
     "SetUnionSampler",
     "Tree",
     "TreeSampler",

@@ -33,6 +33,7 @@ from repro.core.dependent import DependentRangeSampler
 from repro.core.dynamic import BucketDynamicSampler, FenwickDynamicSampler
 from repro.core.dynamic_range import DynamicRangeSampler
 from repro.core.naive import NaiveRangeSampler, NaiveSetUnionSampler
+from repro.core.plan_cache import QueryPlanCache
 from repro.core.range_sampler import (
     AliasAugmentedRangeSampler,
     ChunkedRangeSampler,
@@ -62,6 +63,7 @@ __all__ = [
     "DynamicRangeSampler",
     "NaiveRangeSampler",
     "NaiveSetUnionSampler",
+    "QueryPlanCache",
     "AliasAugmentedRangeSampler",
     "ChunkedRangeSampler",
     "TreeWalkRangeSampler",

@@ -20,6 +20,7 @@ plain arrays instead of objects.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
 
@@ -40,14 +41,18 @@ def build_alias_tables(weights: Sequence[float]) -> AliasTables:
     probability ``prob[i]`` and otherwise yields ``alias[i]``. Weights must
     be positive and finite (checked by the caller for speed; this function
     is on the hot path of on-the-fly cover sampling, §5).
+
+    The total is accumulated with :func:`math.fsum` (Shewchuk's exact
+    summation), so the scale factor — and hence the urn masses — cannot
+    drift under catastrophic cancellation even for millions of weights
+    spanning many orders of magnitude. The numpy fast path lives in
+    :func:`repro.core.kernels.build_alias_tables_batch`; this function is
+    the authoritative scalar fallback.
     """
     n = len(weights)
     if n == 0:
         raise BuildError("cannot build alias tables over an empty set")
-    total = 0.0
-    for w in weights:
-        total += w
-    scale = n / total
+    scale = n / math.fsum(weights)
     scaled = [w * scale for w in weights]  # mean is exactly 1
 
     prob = [0.0] * n
@@ -136,8 +141,16 @@ class AliasSampler(Generic[T]):
         self._weights = cleaned
         self._total_weight = float(sum(cleaned))
         self._rng = ensure_rng(rng)
-        self._prob, self._alias = build_alias_tables(cleaned)
-        self._np_tables = None  # numpy copy of the urn tables, built lazily
+        if kernels.use_batch_build(len(cleaned)):
+            np_prob, np_alias = kernels.build_alias_tables_batch(cleaned)
+            # Keep the list views for the scalar draw path and the numpy
+            # views for the batch path — built once, no lazy re-packing.
+            self._prob = np_prob.tolist()
+            self._alias = np_alias.tolist()
+            self._np_tables = (np_prob, np_alias)
+        else:
+            self._prob, self._alias = build_alias_tables(cleaned)
+            self._np_tables = None  # numpy copy of the urn tables, built lazily
 
     # ------------------------------------------------------------------
     # sampling

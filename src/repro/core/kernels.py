@@ -52,6 +52,21 @@ if os.environ.get("REPRO_DISABLE_NUMPY"):  # pragma: no cover
 #: this, numpy call overhead can exceed the scalar loop's cost.
 BATCH_MIN_SIZE = 16
 
+#: Minimum table size for which the vectorized *construction* path is
+#: dispatched. Small tables (multinomial parts, query covers) build faster
+#: through the plain stack algorithm than through a numpy round-trip.
+BUILD_MIN_SIZE = 64
+
+#: Remaining-urn count below which a vectorized construction finishes with
+#: the scalar stack loop instead of another array pass.
+_BUILD_SCALAR_CUTOFF = 256
+
+#: Hard cap on array passes; each pass retires at least one urn, and in
+#: practice the active set shrinks geometrically, but adversarial weight
+#: sets (one giant element, thousands of near-unit ones) can stall the
+#: array passes — the scalar finish then completes the remainder exactly.
+_BUILD_MAX_PASSES = 64
+
 _GEN_ATTR = "_repro_batch_generator"
 
 
@@ -62,6 +77,11 @@ def use_batch(s: int) -> bool:
     testing) and the :data:`BATCH_MIN_SIZE` cutoff.
     """
     return HAVE_NUMPY and s >= BATCH_MIN_SIZE
+
+
+def use_batch_build(n: int) -> bool:
+    """True when an ``n``-urn alias table should be built vectorized."""
+    return HAVE_NUMPY and n >= BUILD_MIN_SIZE
 
 
 def batch_generator(rng: random.Random) -> "np.random.Generator":
@@ -171,10 +191,330 @@ def rejection_accept_batch(
     return gen.random(len(acceptance)) < acceptance
 
 
+# ----------------------------------------------------------------------
+# construction kernels (vectorized Vose)
+# ----------------------------------------------------------------------
+#
+# The scalar Vose construction pairs one underfull urn with one overfull
+# urn per interpreted loop iteration — O(n) Python steps. The vectorized
+# construction below retires *all* current underfull urns in one array
+# pass: lay the overfull urns' spare capacity out on a prefix-sum tape and
+# assign each underfull urn's deficit interval to the overfull urn whose
+# capacity segment contains the interval's start (a single searchsorted).
+# A donor stays positive because the deficits whose intervals start inside
+# its segment total at most (excess + 1) < its scaled mass. Donors that
+# fall below 1 become the next pass's underfull urns, so each pass runs on
+# the previous pass's overfull set only; the leftover tail (or a stalled
+# adversarial instance) is finished by the exact scalar stack loop.
+
+
+def _vose_finish(
+    ids: List[int],
+    masses: List[float],
+    out_idx: List[int],
+    out_prob: List[float],
+    out_alias: List[int],
+    alias_base: int = 0,
+) -> None:
+    """Scalar Vose stacks over urns ``ids`` with current scaled ``masses``.
+
+    Appends ``(index, prob, alias)`` results to the ``out_*`` lists so the
+    caller can scatter them into numpy arrays in one shot — per-element
+    numpy ``__setitem__`` calls are ~100x a list append. Alias entries are
+    stored relative to ``alias_base`` (0 for a standalone table, the row's
+    flat offset for a packed row). Urns left at mass >= 1 keep the
+    initialized ``prob = 1`` / self-alias state, so nothing is emitted for
+    them.
+    """
+    small = [k for k, m in enumerate(masses) if m < 1.0]
+    large = [k for k, m in enumerate(masses) if m >= 1.0]
+    while small and large:
+        underfull = small.pop()
+        overfull = large[-1]
+        out_idx.append(ids[underfull])
+        out_prob.append(masses[underfull])
+        out_alias.append(ids[overfull] - alias_base)
+        masses[overfull] -= 1.0 - masses[underfull]
+        if masses[overfull] < 1.0:
+            large.pop()
+            small.append(overfull)
+
+
+def _segmented_cumsum(values: Any, segments: Any) -> Any:
+    """Per-segment inclusive prefix sums (``segments`` sorted ascending).
+
+    Requires non-negative ``values`` (true of deficits/excesses), which
+    makes the global cumsum non-decreasing so segment bases propagate with
+    a single ``maximum.accumulate``.
+    """
+    running = np.cumsum(values)
+    base = np.zeros(len(values))
+    starts = np.nonzero(segments[1:] != segments[:-1])[0] + 1
+    base[starts] = running[starts - 1]
+    return running - np.maximum.accumulate(base)
+
+
+def build_alias_tables_batch(weights: Sequence[float]) -> Tuple[Any, Any]:
+    """Vectorized Vose construction: ``(prob, alias)`` as numpy arrays.
+
+    Builds the same family of urn tables as
+    :func:`repro.core.alias.build_alias_tables` (any pairing order yields a
+    valid table; the implied per-element masses agree up to float
+    rounding) in O(n) numpy element-ops across O(log n) expected passes.
+    """
+    w = np.ascontiguousarray(weights, dtype=np.float64)
+    n = w.size
+    if n == 0:
+        raise ValueError("cannot build alias tables over an empty set")
+    scaled = w * (n / float(w.sum()))
+    prob = np.ones(n)
+    alias = np.arange(n, dtype=np.intp)
+    active = np.arange(n, dtype=np.intp)
+    act = scaled
+    passes = 0
+    while active.size > _BUILD_SCALAR_CUTOFF and passes < _BUILD_MAX_PASSES:
+        small_mask = act < 1.0
+        retired = int(small_mask.sum())
+        if retired == 0 or retired == active.size:
+            # All remaining urns sit on one side of 1 while averaging
+            # exactly 1, so every one of them is a full urn: the
+            # initialized prob = 1 / self-alias state is the answer.
+            active = active[:0]
+            break
+        if retired * 8 < active.size:
+            break  # stalling — the scalar finish is cheaper than more passes
+        large_mask = ~small_mask
+        small = active[small_mask]
+        large = active[large_mask]
+        deficits = 1.0 - act[small_mask]
+        excesses = act[large_mask] - 1.0
+        starts = np.cumsum(deficits) - deficits
+        donors = np.searchsorted(np.cumsum(excesses), starts, side="right")
+        np.minimum(donors, large.size - 1, out=donors)
+        prob[small] = act[small_mask]
+        alias[small] = large[donors]
+        donated = np.bincount(donors, weights=deficits, minlength=large.size)
+        act = np.maximum(act[large_mask] - donated, 0.0)
+        active = large
+        passes += 1
+    if active.size:
+        fin_idx: List[int] = []
+        fin_prob: List[float] = []
+        fin_alias: List[int] = []
+        _vose_finish(active.tolist(), act.tolist(), fin_idx, fin_prob, fin_alias)
+        if fin_idx:
+            idx = np.asarray(fin_idx, dtype=np.intp)
+            prob[idx] = fin_prob
+            alias[idx] = fin_alias
+    return prob, alias
+
+
+def build_alias_tables_flat(values: Any, lengths: Any) -> Tuple[Any, Any]:
+    """Build alias tables for many *ragged* weight vectors in shared passes.
+
+    ``values`` is the concatenation of every segment's weights; segment
+    ``r`` occupies ``lengths[r]`` consecutive entries. Returns flat
+    ``(prob, alias)`` arrays of the same length with **segment-local**
+    alias indices, so segment ``r``'s table is the slice
+    ``[start_r : start_r + lengths[r]]`` of both arrays.
+
+    This is the workhorse behind :func:`build_alias_tables_packed` and the
+    Lemma-2 builder: because segments may have different lengths, *every*
+    alias table of an entire structure (all BST levels at once, not one
+    level at a time) collapses into a single pass loop. That matters for
+    throughput — per-pass numpy dispatch overhead is paid once per pass
+    over the whole structure instead of once per level.
+
+    Segments are kept independent by aligning every segment's deficit
+    tape against the shared global excess tape (one searchsorted for all
+    segments) and clamping donor assignments back into the segment's own
+    donor range, so float rounding at segment boundaries can never leak
+    mass across segments. A segment with non-positive total mass
+    degenerates to full urns (``prob = 1``, self-alias).
+    """
+    vals = np.ascontiguousarray(values, dtype=np.float64)
+    sizes = np.ascontiguousarray(lengths, dtype=np.intp)
+    total = vals.size
+    segs = sizes.size
+    if int(sizes.sum()) != total:
+        raise ValueError("lengths must sum to the length of values")
+    if total == 0:
+        return np.ones(0), np.zeros(0, dtype=np.intp)
+    # 32-bit index arrays throughout: the builder is memory-bandwidth
+    # bound, and every per-pass index array (active set, segment ids,
+    # donors' positions) is touched several times per pass.
+    idx_t = np.int32 if total < 2**31 else np.intp
+    seg_starts = np.cumsum(sizes) - sizes
+    seg_ids = np.repeat(np.arange(segs, dtype=idx_t), sizes)
+    if segs and sizes.min() > 0:
+        # One sequential pass; reduceat needs every segment non-empty
+        # (repeated offsets would yield vals[offset], not 0).
+        totals = np.add.reduceat(vals, seg_starts)
+    else:
+        totals = np.bincount(seg_ids, weights=vals, minlength=segs)
+    ok = totals > 0.0
+    scale = np.where(ok, sizes / np.where(ok, totals, 1.0), 0.0)
+    scaled = vals * scale[seg_ids]
+
+    prob = np.ones(total)
+    # Alias entries hold *global* flat positions while the builder runs
+    # (self-alias initially); one vectorized subtraction at the end
+    # rebases them to segment-local indices.
+    alias = np.arange(total, dtype=idx_t)
+    active = np.arange(total, dtype=idx_t)
+    act = scaled
+    act_seg = seg_ids
+    passes = 0
+    while active.size > _BUILD_SCALAR_CUTOFF and passes < _BUILD_MAX_PASSES:
+        small_mask = act < 1.0
+        small = active[small_mask]
+        retired = small.size
+        if retired == 0 or retired == active.size:
+            # Remaining urns all on one side of 1 with per-segment mean 1:
+            # they are full urns, already encoded by the initialization.
+            active = active[:0]
+            break
+        if retired * 8 < active.size and passes >= 4:
+            # Stalling (adversarial skew) — scalar-finish the remainder.
+            # The pass floor keeps narrow-segment instances, whose cascades
+            # retire a small fraction per pass by construction, on the
+            # cheap vectorized path instead of a huge Python finish.
+            break
+        # Urns inside [1, 1 + eps] are *full*: the initialized prob = 1 /
+        # self-alias state is their final answer, so they leave the donor
+        # set now. Without this, narrow segments' donors — which land at
+        # mass exactly 1 after their single donation — would linger
+        # through every remaining pass and eventually trip the stall bail
+        # with an enormous (but trivial) scalar finish. Mass stranded in
+        # a dropped urn is at most eps, repaired by the donor-range clip.
+        large_mask = act > 1.0 + 1e-12
+        large = active[large_mask]
+        if large.size == 0:
+            # No urn holds more than rounding noise above 1, so every
+            # remaining deviation below 1 is noise too: all full urns,
+            # already encoded by the initialization.
+            active = active[:0]
+            break
+        small_segs = act_seg[small_mask]
+        large_segs = act_seg[large_mask]
+        act_small = act[small_mask]
+        act_large = act[large_mask]
+        prob[small] = act_small
+        # act_small's last read was the scatter above: reuse its buffer.
+        deficits = np.subtract(1.0, act_small, out=act_small)
+        excesses = act_large - 1.0
+        # Shared prefix-sum tapes: every segment's deficits balance its
+        # excesses, so the two global tapes stay aligned segment by
+        # segment on their own (up to cumsum rounding drift), and one
+        # searchsorted positions every deficit interval at once. Donor
+        # misassignments *within* a segment are harmless — each underfull
+        # urn retires with its exact mass, so mass is conserved under any
+        # in-segment pairing and over/under-donated donors re-enter the
+        # next pass. Only cross-segment spill (rare: tape drift at a
+        # segment boundary) needs the explicit repair below.
+        capacity = np.cumsum(excesses, out=excesses)
+        starts = np.cumsum(deficits)
+        starts -= deficits
+        donors = np.searchsorted(capacity, starts, side="right")
+        np.minimum(donors, large.size - 1, out=donors)
+        bad = large_segs[donors] != small_segs
+        no_donor = None
+        b = np.nonzero(bad)[0]
+        if b.size:
+            want = small_segs[b]
+            first = np.searchsorted(large_segs, want, side="left")
+            last = np.searchsorted(large_segs, want, side="right") - 1
+            has = last >= first
+            donors[b] = np.minimum(
+                np.minimum(np.maximum(donors[b], first), np.maximum(last, first)),
+                large.size - 1,
+            )
+            if not has.all():
+                no_donor = b[~has]
+        alias[small] = large[donors]
+        if no_donor is not None:
+            # A segment with underfull urns but no overfull urn: every
+            # deviation from 1 in it is rounding noise — finish whole.
+            sel = small[no_donor]
+            prob[sel] = 1.0
+            alias[sel] = sel
+            deficits[no_donor] = 0.0
+        donated = np.bincount(donors, weights=deficits, minlength=large.size)
+        act_large -= donated
+        act = np.maximum(act_large, 0.0, out=act_large)
+        active = large
+        act_seg = large_segs
+        passes += 1
+    if active.size:
+        remaining = active.tolist()
+        masses = act.tolist()
+        cuts = np.nonzero(act_seg[1:] != act_seg[:-1])[0] + 1
+        bounds = [0, *cuts.tolist(), len(remaining)]
+        fin_idx: List[int] = []
+        fin_prob: List[float] = []
+        fin_alias: List[int] = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            _vose_finish(
+                remaining[lo:hi],
+                masses[lo:hi],
+                fin_idx,
+                fin_prob,
+                fin_alias,
+            )
+        if fin_idx:
+            idx = np.asarray(fin_idx, dtype=np.intp)
+            prob[idx] = fin_prob
+            alias[idx] = fin_alias
+    alias -= seg_starts.astype(idx_t)[seg_ids]
+    return prob, alias
+
+
+def build_alias_tables_packed(
+    weights_matrix: Any, lengths: Any
+) -> Tuple[Any, Any]:
+    """Build *all rows'* alias tables in shared array passes.
+
+    ``weights_matrix`` is a ``rows × width`` float matrix; row ``r`` is an
+    independent weight vector occupying its first ``lengths[r]`` columns
+    (the rest is padding and is ignored). Returns ``(prob, alias)``
+    matrices of the same shape with **row-local** alias indices; padded
+    columns get ``prob = 1`` and alias themselves, so a draw kernel that
+    bounds its urn pick by ``lengths[r]`` never observes them.
+
+    One call builds every alias table of one BST level, or every chunk
+    table of the Theorem-3 structure. The actual construction delegates to
+    :func:`build_alias_tables_flat` on the valid (non-padding) entries;
+    this wrapper only handles the rectangular packing.
+    """
+    W = np.ascontiguousarray(weights_matrix, dtype=np.float64)
+    rows, width = W.shape
+    sizes = np.ascontiguousarray(lengths, dtype=np.intp)
+    if rows == 1:
+        # One row (e.g. a BST's root level): the single-table builder has
+        # no row bookkeeping and is strictly cheaper.
+        size = int(sizes[0])
+        prob = np.ones((1, width))
+        alias = np.arange(width, dtype=np.intp).reshape(1, width)
+        if size > 0:
+            prob[0, :size], alias[0, :size] = build_alias_tables_batch(W[0, :size])
+        return prob, alias
+    columns = np.arange(width, dtype=np.intp)
+    valid = (columns < sizes[:, None]).ravel()
+    flat_pos = np.nonzero(valid)[0]
+    flat_prob, flat_alias = build_alias_tables_flat(W.ravel()[flat_pos], sizes)
+    prob = np.ones(rows * width)
+    alias = np.tile(columns, rows)
+    prob[flat_pos] = flat_prob
+    alias[flat_pos] = flat_alias
+    return prob.reshape(rows, width), alias.reshape(rows, width)
+
+
 __all__ = [
     "HAVE_NUMPY",
     "BATCH_MIN_SIZE",
+    "BUILD_MIN_SIZE",
     "use_batch",
+    "use_batch_build",
     "batch_generator",
     "as_alias_arrays",
     "alias_draw_batch",
@@ -183,4 +523,7 @@ __all__ = [
     "multinomial_split_batch",
     "bst_topdown_batch",
     "rejection_accept_batch",
+    "build_alias_tables_batch",
+    "build_alias_tables_flat",
+    "build_alias_tables_packed",
 ]

@@ -1,0 +1,147 @@
+"""Bounded LRU cache for deterministic query plans.
+
+The range samplers split every query ``[x, y]`` into a *plan* — the
+canonical cover and its cover-level alias tables
+(:class:`~repro.core.range_sampler.TreeWalkRangeSampler`), or the
+Figure-2 ``query_split`` plus the partial-chunk alias tables
+(:class:`~repro.core.range_sampler.ChunkedRangeSampler`). A plan is a
+pure function of the *structure* and the query span: computing it
+consumes no randomness. Memoizing plans therefore cannot compromise the
+IQS guarantee — repeated queries still draw fresh randomness through the
+sampler's RNG stream, and a warm-cache run produces byte-identical
+samples to a cold-cache run under the same seed (asserted in
+``tests/core/test_plan_cache.py``).
+
+What caching buys is the serving regime Afshani–Phillips and Huang–Wang
+highlight: many queries skewed toward hot ranges, each wanting a batch of
+draws. There the per-query O(log n) cover walk and table build dominate
+the O(1)-per-draw sampling; a cache hit removes them entirely.
+
+Capacity is resolved, in order, from the constructor argument and the
+``REPRO_PLAN_CACHE_SIZE`` environment variable, falling back to
+:data:`DEFAULT_CAPACITY`. Capacity 0 disables caching outright (every
+lookup is a bypass; counters stay at zero). Hit/miss/eviction counters
+are exposed for observability and asserted in tests.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional
+
+#: Plans kept per sampler when neither the constructor argument nor the
+#: environment variable overrides it. Sized for a hot-range working set:
+#: each plan is O(log n) ids and floats, so the cache is a few kilobytes.
+DEFAULT_CAPACITY = 256
+
+#: Environment variable consulted when no capacity argument is given.
+ENV_CAPACITY = "REPRO_PLAN_CACHE_SIZE"
+
+_MISSING = object()
+
+
+def resolve_capacity(capacity: Optional[int] = None) -> int:
+    """Resolve a cache capacity from the argument or the environment."""
+    if capacity is None:
+        raw = os.environ.get(ENV_CAPACITY)
+        if raw is None or raw.strip() == "":
+            return DEFAULT_CAPACITY
+        try:
+            capacity = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_CAPACITY} must be an integer, got {raw!r}"
+            ) from None
+    if capacity < 0:
+        raise ValueError(f"plan cache capacity must be >= 0, got {capacity}")
+    return capacity
+
+
+class QueryPlanCache:
+    """LRU map from a query key (e.g. a ``(lo, hi)`` span) to its plan.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of plans retained; least-recently-used plans are
+        evicted first. ``None`` defers to ``REPRO_PLAN_CACHE_SIZE`` and
+        then :data:`DEFAULT_CAPACITY`; ``0`` disables the cache.
+
+    Attributes
+    ----------
+    hits, misses, evictions:
+        Monotone counters. A disabled cache (capacity 0) records nothing.
+    """
+
+    __slots__ = ("_capacity", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._capacity = resolve_capacity(capacity)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        return self._capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any:
+        """The cached plan for ``key``, or ``None`` (recorded as a miss)."""
+        if self._capacity == 0:
+            return None
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, plan: Any) -> None:
+        """Insert (or refresh) a plan, evicting the LRU entry if full."""
+        if self._capacity == 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = plan
+        if len(entries) > self._capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all plans; counters are preserved."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits, misses, evictions, size, capacity."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "capacity": self._capacity,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QueryPlanCache(capacity={self._capacity}, size={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )
+
+
+__all__ = [
+    "QueryPlanCache",
+    "DEFAULT_CAPACITY",
+    "ENV_CAPACITY",
+    "resolve_capacity",
+]

@@ -26,9 +26,10 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core import kernels
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
+from repro.core.plan_cache import QueryPlanCache
 from repro.core.schemes import multinomial_split
 from repro.errors import BuildError, EmptyQueryError
-from repro.substrates.bst import StaticBST
+from repro.substrates.bst import NO_CHILD, StaticBST
 from repro.substrates.fenwick import FenwickTree
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size, validate_weights
@@ -40,15 +41,36 @@ class RangeSamplerBase:
     def __init__(self, keys: Sequence[float], weights: Optional[Sequence[float]] = None):
         if len(keys) == 0:
             raise BuildError("range sampler requires at least one key")
-        for i in range(1, len(keys)):
-            if not keys[i - 1] < keys[i]:
-                raise BuildError("range sampler keys must be strictly increasing")
+        increasing = None
+        if kernels.use_batch_build(len(keys)):
+            np = kernels.np
+            try:
+                key_arr = np.asarray(keys, dtype=np.float64)
+            except (TypeError, ValueError):
+                key_arr = None
+            if key_arr is not None and key_arr.ndim == 1 and key_arr.size == len(keys):
+                increasing = bool((key_arr[1:] > key_arr[:-1]).all())
+        if increasing is None:
+            increasing = all(keys[i - 1] < keys[i] for i in range(1, len(keys)))
+        if not increasing:
+            raise BuildError("range sampler keys must be strictly increasing")
         if weights is None:
             weights = [1.0] * len(keys)
         if len(weights) != len(keys):
             raise BuildError(f"got {len(keys)} keys but {len(weights)} weights")
         self.keys: List[float] = list(keys)
         self.weights: List[float] = validate_weights(weights, context=type(self).__name__)
+        # Precomputed once so WoR queries need not scan their span to
+        # detect the uniform case (previously an O(span) probe per query).
+        self._all_weights_equal = self._weights_all_equal()
+
+    def _weights_all_equal(self) -> bool:
+        w = self.weights
+        if kernels.HAVE_NUMPY and len(w) >= kernels.BUILD_MIN_SIZE:
+            arr = kernels.np.asarray(w, dtype=kernels.np.float64)
+            return bool((arr == arr[0]).all())
+        first = w[0]
+        return all(value == first for value in w)
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -103,7 +125,11 @@ class RangeSamplerBase:
             raise EmptyQueryError(
                 f"range holds {population} < s={s} keys (WoR needs s <= |S_q|)"
             )
-        uniform = len(set(self.weights[lo:hi])) == 1
+        # Build-time flag instead of the former O(span) per-query probe;
+        # a locally-uniform span of a globally non-uniform set now takes
+        # the successive-weighted path, which draws from the identical
+        # distribution (weighted WoR over equal weights is uniform WoR).
+        uniform = self._all_weights_equal
         if uniform and s > population // 2:
             from repro.core.schemes import uniform_indices_without_replacement
 
@@ -139,6 +165,12 @@ class TreeWalkRangeSampler(RangeSamplerBase):
     the tree downward choosing children with probability proportional to
     subtree weight. With binary fanout the child choice is a single biased
     coin, which is exactly the fanout-2 alias structure of §3.2.
+
+    Repeated spans reuse their canonical cover and cover-level alias
+    tables through a :class:`QueryPlanCache` (``plan_cache_size``
+    constructor knob / ``REPRO_PLAN_CACHE_SIZE`` env var; 0 disables) —
+    the plan is deterministic, so caching leaves every query's output
+    distribution and independence untouched.
     """
 
     def __init__(
@@ -146,11 +178,29 @@ class TreeWalkRangeSampler(RangeSamplerBase):
         keys: Sequence[float],
         weights: Optional[Sequence[float]] = None,
         rng: RNGLike = None,
+        plan_cache_size: Optional[int] = None,
     ):
         super().__init__(keys, weights)
         self._tree = StaticBST(self.keys, self.weights)
         self._rng = ensure_rng(rng)
         self._np_tree = None  # numpy copy of the BST arrays, built lazily
+        self.plan_cache = QueryPlanCache(plan_cache_size)
+
+    def _span_plan(self, lo: int, hi: int):
+        """Cover + cover-level alias tables for ``[lo, hi)``, memoized.
+
+        The plan tuple is ``(cover, prob, alias, np_slot)`` where
+        ``np_slot`` lazily holds the numpy views used by the batch path.
+        """
+        plan = self.plan_cache.get((lo, hi))
+        if plan is None:
+            tree = self._tree
+            cover = tree.canonical_nodes_for_span(lo, hi)
+            cover_weights = [tree.node_weight(u) for u in cover]
+            prob, alias = build_alias_tables(cover_weights)
+            plan = (cover, prob, alias, [None])
+            self.plan_cache.put((lo, hi), plan)
+        return plan
 
     def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
         validate_sample_size(s)
@@ -158,24 +208,30 @@ class TreeWalkRangeSampler(RangeSamplerBase):
             raise EmptyQueryError("empty index range")
         tree = self._tree
         rng = self._rng
-        cover = tree.canonical_nodes_for_span(lo, hi)
-        cover_weights = [tree.node_weight(u) for u in cover]
-        prob, alias = build_alias_tables(cover_weights)
+        cover, prob, alias, np_slot = self._span_plan(lo, hi)
         if kernels.use_batch(s):
-            return self._sample_span_batch(cover, prob, alias, s)
+            return self._sample_span_batch(cover, prob, alias, np_slot, s)
+        # Local bindings for the packed node lists: the walk is the hot
+        # loop of the O((1 + s) log n) query, and attribute/method dispatch
+        # per level would double its cost.
+        lefts, _, node_weights, span_lo = tree.packed_arrays()
+        random = rng.random
         result: List[int] = []
         for _ in range(s):
             node = cover[alias_draw(prob, alias, rng)]
-            while not tree.is_leaf(node):
-                left, right = tree.children(node)
-                if rng.random() * tree.node_weight(node) < tree.node_weight(left):
-                    node = left
+            child = lefts[node]
+            while child != NO_CHILD:
+                # BFS construction assigns sibling ids consecutively, so
+                # the right child is always left + 1.
+                if random() * node_weights[node] < node_weights[child]:
+                    node = child
                 else:
-                    node = right
-            result.append(tree.leaf_span(node)[0])
+                    node = child + 1
+                child = lefts[node]
+            result.append(span_lo[node])
         return result
 
-    def _sample_span_batch(self, cover, prob, alias, s: int) -> List[int]:
+    def _sample_span_batch(self, cover, prob, alias, np_slot, s: int) -> List[int]:
         """Batched §3.2 walk: draw all cover nodes, then descend all
         ``s`` tokens level-by-level in vectorized steps."""
         np = kernels.np
@@ -189,8 +245,11 @@ class TreeWalkRangeSampler(RangeSamplerBase):
             )
         left, right, node_weight, span_lo = self._np_tree
         gen = kernels.batch_generator(self._rng)
-        cover_ids = np.asarray(cover, dtype=np.intp)
-        starts = cover_ids[kernels.alias_draw_batch(prob, alias, s, gen)]
+        if np_slot[0] is None:
+            np_prob, np_alias = kernels.as_alias_arrays(prob, alias)
+            np_slot[0] = (np.asarray(cover, dtype=np.intp), np_prob, np_alias)
+        cover_ids, np_prob, np_alias = np_slot[0]
+        starts = cover_ids[kernels.alias_draw_batch(np_prob, np_alias, s, gen)]
         leaves = kernels.bst_topdown_batch(left, right, node_weight, starts, gen)
         return span_lo[leaves].tolist()
 
@@ -213,6 +272,7 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
         keys: Sequence[float],
         weights: Optional[Sequence[float]] = None,
         rng: RNGLike = None,
+        plan_cache_size: Optional[int] = None,
     ):
         super().__init__(keys, weights)
         self._tree = StaticBST(self.keys, self.weights)
@@ -220,29 +280,116 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
         # Per-node alias tables over the node's leaf span. Leaves are
         # trivial (single element), so store tables for internal nodes only.
         self._node_tables: List[Optional[AliasTables]] = [None] * self._tree.node_count
-        for node in self._tree.iter_nodes():
-            if not self._tree.is_leaf(node):
-                node_lo, node_hi = self._tree.leaf_span(node)
-                self._node_tables[node] = build_alias_tables(self.weights[node_lo:node_hi])
-        # numpy copies of per-node tables, converted on first batched use.
+        self._flat_tables: Optional[tuple] = None
+        self._table_entry_count = 0
+        if kernels.use_batch_build(len(self.keys)):
+            self._build_node_tables_packed()
+        else:
+            for node in self._tree.iter_nodes():
+                if not self._tree.is_leaf(node):
+                    node_lo, node_hi = self._tree.leaf_span(node)
+                    self._node_tables[node] = build_alias_tables(
+                        self.weights[node_lo:node_hi]
+                    )
+                    self._table_entry_count += node_hi - node_lo
+        # numpy copies of per-node tables, converted on first batched use
+        # (already present when the packed builder ran).
         self._np_node_tables: dict = {}
+        self.plan_cache = QueryPlanCache(plan_cache_size)
+
+    def _build_node_tables_packed(self) -> None:
+        """Build *every* internal node's urn table in one flat kernel call.
+
+        Each internal node's table is over a contiguous weight slice
+        ``weights[lo:hi]``, so the whole structure — all ``O(n)`` tables
+        across all ``O(log n)`` BST levels, ``O(n log n)`` urns total —
+        concatenates into one ragged instance for
+        :func:`kernels.build_alias_tables_flat`. One pass loop replaces
+        per-level (let alone per-node) construction, which is where the
+        measured build speedup comes from: numpy dispatch overhead is paid
+        per pass over the full structure, not per level.
+
+        Only the flat arrays are stored here; per-node slice views
+        materialize on first touch via :meth:`_node_table` — creating
+        ``Θ(n)`` view objects eagerly costs more than the build itself,
+        and a query workload only ever touches the ``O(log n)`` nodes of
+        its covers.
+        """
+        np = kernels.np
+        tree = self._tree
+        arrays = tree.numpy_arrays()
+        if arrays is not None:
+            w = arrays["leaf_weight"]
+            left_arr = arrays["left"]
+            lo_arr = arrays["lo"]
+            hi_arr = arrays["hi"]
+        else:
+            w = np.asarray(self.weights, dtype=np.float64)
+            left, _, _, _ = tree.packed_arrays()
+            span_lo, span_hi = tree.span_arrays()
+            left_arr = np.asarray(left, dtype=np.intp)
+            lo_arr = np.asarray(span_lo, dtype=np.intp)
+            hi_arr = np.asarray(span_hi, dtype=np.intp)
+        internal = np.nonzero(left_arr != NO_CHILD)[0]
+        if internal.size == 0:
+            return
+        sizes = hi_arr[internal] - lo_arr[internal]
+        out_starts = np.cumsum(sizes) - sizes
+        total = int(sizes.sum())
+        idx_t = np.int32 if total < 2**31 else np.intp
+        flat_idx = np.repeat(
+            (lo_arr[internal] - out_starts).astype(idx_t), sizes
+        ) + np.arange(total, dtype=idx_t)
+        prob_flat, alias_flat = kernels.build_alias_tables_flat(w[flat_idx], sizes)
+        self._flat_tables = (internal, out_starts, sizes, prob_flat, alias_flat)
+        self._table_entry_count = total
+
+    def _node_table(self, node: int) -> AliasTables:
+        """Alias tables for internal ``node``, resolving flat slices lazily."""
+        tables = self._node_tables[node]
+        if tables is None:
+            internal, out_starts, sizes, prob_flat, alias_flat = self._flat_tables
+            j = int(kernels.np.searchsorted(internal, node))
+            a = int(out_starts[j])
+            b = a + int(sizes[j])
+            tables = (prob_flat[a:b], alias_flat[a:b])
+            self._node_tables[node] = tables
+        return tables
+
+    def _cover_plan(self, lo: int, hi: int):
+        """Memoized query plan for ``[lo, hi)``.
+
+        A plan is ``(cover_weights, entries)`` where each entry is
+        ``(node, node_lo, tables_or_None)`` — ``None`` marks a leaf.
+        Resolving spans and tables at plan time keeps the warm-cache query
+        path free of per-node tree lookups.
+        """
+        plan = self.plan_cache.get((lo, hi))
+        if plan is None:
+            tree = self._tree
+            cover = tree.canonical_nodes_for_span(lo, hi)
+            entries = []
+            for node in cover:
+                node_lo, _ = tree.leaf_span(node)
+                tables = None if tree.is_leaf(node) else self._node_table(node)
+                entries.append((node, node_lo, tables))
+            plan = ([tree.node_weight(u) for u in cover], entries)
+            self.plan_cache.put((lo, hi), plan)
+        return plan
 
     def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
-        tree = self._tree
         rng = self._rng
-        cover = tree.canonical_nodes_for_span(lo, hi)
-        counts = multinomial_split([tree.node_weight(u) for u in cover], s, rng)
+        cover_weights, entries = self._cover_plan(lo, hi)
+        counts = multinomial_split(cover_weights, s, rng)
         batched = kernels.use_batch(s)
         gen = kernels.batch_generator(rng) if batched else None
         result: List[int] = []
-        for node, count in zip(cover, counts):
+        for (node, node_lo, tables), count in zip(entries, counts):
             if count == 0:
                 continue
-            node_lo, _ = tree.leaf_span(node)
-            tables = self._node_tables[node]
             if tables is None:  # leaf
                 result.extend([node_lo] * count)
             elif batched and count >= kernels.BATCH_MIN_SIZE:
@@ -251,23 +398,25 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
                 result.extend((node_lo + draws).tolist())
             else:
                 prob, alias = tables
-                result.extend(node_lo + alias_draw(prob, alias, rng) for _ in range(count))
+                result.extend(
+                    int(node_lo + alias_draw(prob, alias, rng)) for _ in range(count)
+                )
         return result
 
     def _np_tables_for(self, node: int):
         tables = self._np_node_tables.get(node)
         if tables is None:
-            prob, alias = self._node_tables[node]
-            tables = kernels.as_alias_arrays(prob, alias)
+            prob, alias = self._node_table(node)
+            if isinstance(prob, kernels.np.ndarray):
+                tables = (prob, alias)  # packed build: already numpy views
+            else:
+                tables = kernels.as_alias_arrays(prob, alias)
             self._np_node_tables[node] = tables
         return tables
 
     def space_words(self) -> int:
         tree_words = 6 * self._tree.node_count
-        table_words = sum(
-            2 * len(tables[0]) for tables in self._node_tables if tables is not None
-        )
-        return tree_words + table_words
+        return tree_words + 2 * self._table_entry_count
 
 
 class ChunkedRangeSampler(RangeSamplerBase):
@@ -295,6 +444,7 @@ class ChunkedRangeSampler(RangeSamplerBase):
         weights: Optional[Sequence[float]] = None,
         rng: RNGLike = None,
         chunk_size: Optional[int] = None,
+        plan_cache_size: Optional[int] = None,
     ):
         super().__init__(keys, weights)
         n = len(self.keys)
@@ -307,16 +457,34 @@ class ChunkedRangeSampler(RangeSamplerBase):
 
         g = (n + chunk_size - 1) // chunk_size
         self._num_chunks = g
-        chunk_weights: List[float] = []
-        self._chunk_tables: List[AliasTables] = []
-        for c in range(g):
-            c_lo, c_hi = self._chunk_bounds(c)
-            block = self.weights[c_lo:c_hi]
-            chunk_weights.append(sum(block))
-            self._chunk_tables.append(build_alias_tables(block))
+        if kernels.use_batch_build(n):
+            # All g chunk tables in one packed kernel call, with the numpy
+            # draw matrix built eagerly instead of lazily re-packed from
+            # scalar tables; per-chunk (prob, alias) views materialize on
+            # demand through _chunk_table for the scalar draw path.
+            np = kernels.np
+            w = np.asarray(self.weights, dtype=np.float64)
+            padded = np.zeros(g * chunk_size)
+            padded[:n] = w
+            matrix = padded.reshape(g, chunk_size)
+            lengths = np.full(g, chunk_size, dtype=np.intp)
+            lengths[-1] = n - (g - 1) * chunk_size
+            chunk_weights = matrix.sum(axis=1).tolist()
+            prob_mat, alias_mat = kernels.build_alias_tables_packed(matrix, lengths)
+            starts = np.arange(g, dtype=np.intp) * chunk_size
+            self._np_chunk_matrix = (prob_mat, alias_mat, lengths, starts)
+            self._chunk_tables: List[Optional[AliasTables]] = [None] * g
+        else:
+            chunk_weights = []
+            self._chunk_tables = []
+            for c in range(g):
+                c_lo, c_hi = self._chunk_bounds(c)
+                block = self.weights[c_lo:c_hi]
+                chunk_weights.append(sum(block))
+                self._chunk_tables.append(build_alias_tables(block))
+            # Packed numpy copy of the tables, built on first batched use.
+            self._np_chunk_matrix = None
         self._chunk_weights = chunk_weights
-        # Packed numpy copy of the per-chunk tables, built on first batched use.
-        self._np_chunk_matrix = None
         # Range-sum structure of §4.2 over chunk weights.
         self._chunk_sums = FenwickTree(chunk_weights)
         # T_chunk: Lemma-2 structure over the chunk-level weighted set,
@@ -324,6 +492,7 @@ class ChunkedRangeSampler(RangeSamplerBase):
         self._t_chunk = AliasAugmentedRangeSampler(
             list(range(g)), chunk_weights, rng=self._rng
         )
+        self.plan_cache = QueryPlanCache(plan_cache_size)
 
     # ------------------------------------------------------------------
 
@@ -363,15 +532,36 @@ class ChunkedRangeSampler(RangeSamplerBase):
         q3 = (hi, hi) if tail_fully else (self._chunk_bounds(last_chunk)[0], hi)
         return q1, (mid_lo, mid_hi), q3
 
-    def _sample_partial(self, lo: int, hi: int, count: int) -> List[int]:
+    def _chunk_table(self, chunk: int) -> AliasTables:
+        """Per-chunk ``(prob, alias)``, as views into the packed matrix
+        when the vectorized builder ran (materialized on demand)."""
+        tables = self._chunk_tables[chunk]
+        if tables is None:
+            prob_mat, alias_mat, lengths, _ = self._np_chunk_matrix
+            size = int(lengths[chunk])
+            tables = (prob_mat[chunk, :size], alias_mat[chunk, :size])
+            self._chunk_tables[chunk] = tables
+        return tables
+
+    def _partial_plan(self, lo: int, hi: int):
+        """On-the-fly alias tables for a partial chunk, as a mutable
+        ``[prob, alias, np_slot]`` plan entry (numpy views filled lazily)."""
+        return [*build_alias_tables(self.weights[lo:hi]), [None]]
+
+    def _sample_partial(self, lo: int, hi: int, count: int, tables=None) -> List[int]:
         """Draw from a partial chunk via an on-the-fly alias structure."""
-        prob, alias = build_alias_tables(self.weights[lo:hi])
+        if tables is None:
+            tables = self._partial_plan(lo, hi)
+        prob, alias, np_slot = tables
         rng = self._rng
         if kernels.use_batch(count):
             gen = kernels.batch_generator(rng)
-            draws = kernels.alias_draw_batch(prob, alias, count, gen)
+            if np_slot[0] is None:
+                np_slot[0] = kernels.as_alias_arrays(prob, alias)
+            np_prob, np_alias = np_slot[0]
+            draws = kernels.alias_draw_batch(np_prob, np_alias, count, gen)
             return (lo + draws).tolist()
-        return [lo + alias_draw(prob, alias, rng) for _ in range(count)]
+        return [int(lo + alias_draw(prob, alias, rng)) for _ in range(count)]
 
     def _sample_chunk_aligned(self, chunk_lo: int, chunk_hi: int, count: int) -> List[int]:
         """Two-level sampling over fully covered chunks (§4.2)."""
@@ -385,8 +575,10 @@ class ChunkedRangeSampler(RangeSamplerBase):
         result: List[int] = []
         for chunk, chunk_count in per_chunk.items():
             c_lo, _ = self._chunk_bounds(chunk)
-            prob, alias = self._chunk_tables[chunk]
-            result.extend(c_lo + alias_draw(prob, alias, rng) for _ in range(chunk_count))
+            prob, alias = self._chunk_table(chunk)
+            result.extend(
+                int(c_lo + alias_draw(prob, alias, rng)) for _ in range(chunk_count)
+            )
         return result
 
     def _chunk_level_batch(self, chunk_draws: List[int]) -> List[int]:
@@ -423,42 +615,58 @@ class ChunkedRangeSampler(RangeSamplerBase):
         picks = np.where(keep, urns, alias_mat[chunks, urns])
         return (starts[chunks] + picks).tolist()
 
+    def _span_plan(self, lo: int, hi: int):
+        """The memoized Figure-2 plan for ``[lo, hi)``: a list of
+        ``(kind, p_lo, p_hi, weight, partial_tables)`` parts.
+
+        Plan construction (split, part weights, partial-chunk alias
+        tables) consumes no randomness, so a cache hit changes nothing
+        about the query's output distribution — it only skips the
+        O(log n) setup work on repeated spans.
+        """
+        plan = self.plan_cache.get((lo, hi))
+        if plan is None:
+            (h_lo, h_hi), (m_lo, m_hi), (t_lo, t_hi) = self.query_split(lo, hi)
+            plan = []
+            if h_hi > h_lo:
+                weight = sum(self.weights[h_lo:h_hi])
+                plan.append(("head", h_lo, h_hi, weight, self._partial_plan(h_lo, h_hi)))
+            if m_hi > m_lo:
+                weight = self._chunk_sums.range_sum(m_lo, m_hi)
+                plan.append(("mid", m_lo, m_hi, weight, None))
+            if t_hi > t_lo:
+                weight = sum(self.weights[t_lo:t_hi])
+                plan.append(("tail", t_lo, t_hi, weight, self._partial_plan(t_lo, t_hi)))
+            self.plan_cache.put((lo, hi), plan)
+        return plan
+
     def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
-        (h_lo, h_hi), (m_lo, m_hi), (t_lo, t_hi) = self.query_split(lo, hi)
-
-        part_weights: List[float] = []
-        parts: List[Tuple[str, int, int]] = []
-        if h_hi > h_lo:
-            parts.append(("head", h_lo, h_hi))
-            part_weights.append(sum(self.weights[h_lo:h_hi]))
-        if m_hi > m_lo:
-            parts.append(("mid", m_lo, m_hi))
-            part_weights.append(self._chunk_sums.range_sum(m_lo, m_hi))
-        if t_hi > t_lo:
-            parts.append(("tail", t_lo, t_hi))
-            part_weights.append(sum(self.weights[t_lo:t_hi]))
+        parts = self._span_plan(lo, hi)
 
         if len(parts) == 1:
-            kind, p_lo, p_hi = parts[0]
+            kind, p_lo, p_hi, _, tables = parts[0]
             if kind == "mid":
                 return self._sample_chunk_aligned(p_lo, p_hi, s)
-            return self._sample_partial(p_lo, p_hi, s)
+            return self._sample_partial(p_lo, p_hi, s, tables)
 
-        counts = multinomial_split(part_weights, s, self._rng)
+        counts = multinomial_split([part[3] for part in parts], s, self._rng)
         result: List[int] = []
-        for (kind, p_lo, p_hi), count in zip(parts, counts):
+        for (kind, p_lo, p_hi, _, tables), count in zip(parts, counts):
             if count == 0:
                 continue
             if kind == "mid":
                 result.extend(self._sample_chunk_aligned(p_lo, p_hi, count))
             else:
-                result.extend(self._sample_partial(p_lo, p_hi, count))
+                result.extend(self._sample_partial(p_lo, p_hi, count, tables))
         return result
 
     def space_words(self) -> int:
-        chunk_table_words = sum(2 * len(prob) for prob, _ in self._chunk_tables)
+        # One prob + one alias word per element across all chunk tables
+        # (computed from n so lazily-materialized table views need not be
+        # forced), plus the Fenwick array and T_chunk.
+        chunk_table_words = 2 * len(self.keys)
         fenwick_words = self._num_chunks + 1
         return chunk_table_words + fenwick_words + self._t_chunk.space_words()

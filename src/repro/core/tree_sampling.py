@@ -186,13 +186,50 @@ class TreeSampler:
         # Alias structure at each internal node over its children's weights
         # (fanout need not be constant, exactly as §3.2 allows).
         self._child_tables: Dict[int, AliasTables] = {}
-        for node in range(len(tree)):
-            if not tree.is_leaf(node):
-                child_weights = [tree.weight(c) for c in tree.children(node)]
-                self._child_tables[node] = build_alias_tables(child_weights)
+        if not (kernels.use_batch_build(len(tree)) and self._build_child_tables_packed()):
+            for node in range(len(tree)):
+                if not tree.is_leaf(node):
+                    child_weights = [tree.weight(c) for c in tree.children(node)]
+                    self._child_tables[node] = build_alias_tables(child_weights)
         # numpy copies of (prob, alias, children) per node, built lazily.
         self._np_child_tables: Dict[int, tuple] = {}
         self._np_leaf_mask = None
+
+    def _build_child_tables_packed(self) -> bool:
+        """Build every internal node's child table in one packed call.
+
+        Rows are internal nodes, columns their children's weights. Returns
+        ``False`` (letting the scalar loop run instead) when the fanout
+        spread would make the padded matrix much larger than the actual
+        child count — e.g. one giant star node among binary nodes.
+        """
+        np = kernels.np
+        tree = self._tree
+        internal = [node for node in range(len(tree)) if not tree.is_leaf(node)]
+        if not internal:
+            return True
+        kid_tuples = [tree.children(node) for node in internal]
+        sizes = np.array([len(kids) for kids in kid_tuples], dtype=np.intp)
+        width = int(sizes.max())
+        total = int(sizes.sum())
+        if width * len(internal) > 4 * total + 1024:
+            return False
+        node_weights = np.asarray(
+            [tree.weight(node) for node in range(len(tree))], dtype=np.float64
+        )
+        flat_children = np.fromiter(
+            (child for kids in kid_tuples for child in kids), dtype=np.intp, count=total
+        )
+        rows = np.repeat(np.arange(len(internal), dtype=np.intp), sizes)
+        offsets = np.cumsum(sizes) - sizes
+        cols = np.arange(total, dtype=np.intp) - offsets[rows]
+        matrix = np.zeros((len(internal), width))
+        matrix[rows, cols] = node_weights[flat_children]
+        prob_mat, alias_mat = kernels.build_alias_tables_packed(matrix, sizes)
+        for j, node in enumerate(internal):
+            size = int(sizes[j])
+            self._child_tables[node] = (prob_mat[j, :size], alias_mat[j, :size])
+        return True
 
     @property
     def tree(self) -> Tree:
@@ -246,7 +283,10 @@ class TreeSampler:
         tables = self._np_child_tables.get(node)
         if tables is None:
             prob, alias = self._child_tables[node]
-            np_prob, np_alias = kernels.as_alias_arrays(prob, alias)
+            if isinstance(prob, kernels.np.ndarray):
+                np_prob, np_alias = prob, alias  # packed build: numpy views
+            else:
+                np_prob, np_alias = kernels.as_alias_arrays(prob, alias)
             children = kernels.np.asarray(
                 self._tree.children(node), dtype=kernels.np.intp
             )

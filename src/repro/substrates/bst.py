@@ -24,6 +24,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import kernels
 from repro.errors import BuildError
 from repro.validation import validate_weights
 
@@ -52,15 +53,30 @@ class StaticBST:
         "_node_key",
         "_node_weight",
         "_leaf_node_of",
+        "_level_bounds",
+        "_np_arrays",
         "root",
     )
 
     def __init__(self, keys: Sequence[float], weights: Optional[Sequence[float]] = None):
         if len(keys) == 0:
             raise BuildError("StaticBST requires at least one key")
-        for i in range(1, len(keys)):
-            if not keys[i - 1] < keys[i]:
-                raise BuildError("StaticBST keys must be strictly increasing")
+        increasing = None
+        key_arr = None
+        if kernels.use_batch_build(len(keys)):
+            np = kernels.np
+            try:
+                key_arr = np.asarray(keys, dtype=np.float64)
+            except (TypeError, ValueError):
+                key_arr = None
+            if key_arr is not None and (key_arr.ndim != 1 or key_arr.size != len(keys)):
+                key_arr = None
+            if key_arr is not None:
+                increasing = bool((key_arr[1:] > key_arr[:-1]).all())
+        if increasing is None:
+            increasing = all(keys[i - 1] < keys[i] for i in range(1, len(keys)))
+        if not increasing:
+            raise BuildError("StaticBST keys must be strictly increasing")
         if weights is None:
             weights = [1.0] * len(keys)
         if len(weights) != len(keys):
@@ -69,38 +85,172 @@ class StaticBST:
         self.keys: List[float] = list(keys)
         self.weights: List[float] = validate_weights(weights, context="StaticBST")
 
+        # Iterative level-order (BFS) construction: node ids are assigned
+        # breadth-first, so every level occupies one contiguous id range
+        # (recorded in `_level_bounds`) and children always have larger ids
+        # than their parent. That layout is what makes the bottom-up weight
+        # aggregation a reversed linear pass — and lets the alias-augmented
+        # sampler build all of one level's urn tables in a single packed
+        # kernel call. The root is node 0, as before.
         n = len(keys)
+        self._np_arrays: Optional[dict] = None
+        if kernels.use_batch_build(n):
+            self._build_level_order_vectorized(n, key_arr)
+        else:
+            self._build_level_order(n)
+        self.root = 0
+
+    def _build_level_order(self, n: int) -> None:
+        """Pure-Python BFS build (also the numpy-free fallback)."""
         capacity = 2 * n - 1
-        self._left = [NO_CHILD] * capacity
-        self._right = [NO_CHILD] * capacity
-        self._lo = [0] * capacity
-        self._hi = [0] * capacity
-        self._node_key = [0.0] * capacity
-        self._node_weight = [0.0] * capacity
-        self._leaf_node_of = [0] * n
+        left = [NO_CHILD] * capacity
+        right = [NO_CHILD] * capacity
+        node_key = [0.0] * capacity
+        node_weight = [0.0] * capacity
+        leaf_node_of = [0] * n
+        keys = self.keys
+        weights = self.weights
 
-        next_id = [0]
+        # `spans[u]` is node u's half-open leaf range; appending children in
+        # (left, right) order while scanning nodes in id order IS the BFS.
+        spans: List[Tuple[int, int]] = [(0, n)]
+        level_bounds: List[Tuple[int, int]] = []
+        lvl_start = 0
+        while lvl_start < len(spans):
+            lvl_end = len(spans)
+            level_bounds.append((lvl_start, lvl_end))
+            for node in range(lvl_start, lvl_end):
+                lo, hi = spans[node]
+                if hi - lo == 1:
+                    node_key[node] = keys[lo]
+                    node_weight[node] = weights[lo]
+                    leaf_node_of[lo] = node
+                else:
+                    mid = (lo + hi) // 2
+                    left[node] = len(spans)
+                    spans.append((lo, mid))
+                    right[node] = len(spans)
+                    spans.append((mid, hi))
+                    node_key[node] = keys[mid]  # smallest key in right subtree
+            lvl_start = lvl_end
 
-        def build(lo: int, hi: int) -> int:
-            node = next_id[0]
-            next_id[0] += 1
-            self._lo[node] = lo
-            self._hi[node] = hi
-            if hi - lo == 1:
-                self._node_key[node] = self.keys[lo]
-                self._node_weight[node] = self.weights[lo]
-                self._leaf_node_of[lo] = node
-                return node
-            mid = (lo + hi) // 2
-            left = build(lo, mid)
-            right = build(mid, hi)
-            self._left[node] = left
-            self._right[node] = right
-            self._node_key[node] = self.keys[mid]  # smallest key in right subtree
-            self._node_weight[node] = self._node_weight[left] + self._node_weight[right]
-            return node
+        # Children carry larger ids, so one reversed pass aggregates w(u).
+        for node in range(capacity - 1, -1, -1):
+            lchild = left[node]
+            if lchild != NO_CHILD:
+                node_weight[node] = node_weight[lchild] + node_weight[right[node]]
 
-        self.root = build(0, n)
+        self._left = left
+        self._right = right
+        self._lo = [s[0] for s in spans]
+        self._hi = [s[1] for s in spans]
+        self._node_key = node_key
+        self._node_weight = node_weight
+        self._leaf_node_of = leaf_node_of
+        self._level_bounds = level_bounds
+
+    def _build_level_order_vectorized(self, n: int, key_arr=None) -> None:
+        """Numpy BFS build: whole levels of spans/ids/weights per array op.
+
+        Produces arrays identical to :meth:`_build_level_order` — the same
+        BFS id assignment, span midpoints, and pairwise weight sums — just
+        computed one level at a time instead of one node at a time.
+        """
+        np = kernels.np
+        level_lo = np.array([0], dtype=np.intp)
+        level_hi = np.array([n], dtype=np.intp)
+        los, his, lefts, rights = [], [], [], []
+        level_bounds: List[Tuple[int, int]] = []
+        start = 0
+        while True:
+            k = level_lo.size
+            level_bounds.append((start, start + k))
+            los.append(level_lo)
+            his.append(level_hi)
+            internal = np.nonzero(level_hi - level_lo > 1)[0]
+            left_ids = np.full(k, NO_CHILD, dtype=np.intp)
+            right_ids = np.full(k, NO_CHILD, dtype=np.intp)
+            if internal.size == 0:
+                lefts.append(left_ids)
+                rights.append(right_ids)
+                break
+            # The j-th internal node of this level owns the next level's
+            # nodes 2j and 2j+1 — BFS id assignment, vectorized.
+            child_base = start + k + 2 * np.arange(internal.size, dtype=np.intp)
+            left_ids[internal] = child_base
+            right_ids[internal] = child_base + 1
+            lefts.append(left_ids)
+            rights.append(right_ids)
+            parent_lo = level_lo[internal]
+            parent_hi = level_hi[internal]
+            mid = (parent_lo + parent_hi) // 2
+            next_lo = np.empty(2 * internal.size, dtype=np.intp)
+            next_hi = np.empty(2 * internal.size, dtype=np.intp)
+            next_lo[0::2] = parent_lo
+            next_lo[1::2] = mid
+            next_hi[0::2] = mid
+            next_hi[1::2] = parent_hi
+            level_lo, level_hi = next_lo, next_hi
+            start += k
+
+        lo_all = np.concatenate(los)
+        hi_all = np.concatenate(his)
+        left_all = np.concatenate(lefts)
+        right_all = np.concatenate(rights)
+        leaf_mask = left_all == NO_CHILD
+
+        w = np.asarray(self.weights, dtype=np.float64)
+        node_weight = np.zeros(lo_all.size)
+        node_weight[leaf_mask] = w[lo_all[leaf_mask]]
+        # Bottom-up aggregation: one gather-add per level, leaves upward.
+        for lvl_start, lvl_end in reversed(level_bounds):
+            lchild = left_all[lvl_start:lvl_end]
+            has_children = lchild != NO_CHILD
+            if has_children.any():
+                rchild = right_all[lvl_start:lvl_end]
+                level_w = node_weight[lvl_start:lvl_end]
+                level_w[has_children] = (
+                    node_weight[lchild[has_children]]
+                    + node_weight[rchild[has_children]]
+                )
+
+        # Routing keys: own key for a leaf, right subtree's smallest key
+        # (the span midpoint) for an internal node. Numeric keys gather
+        # through the float64 array built during validation; arbitrary
+        # orderable key types fall back to a Python gather.
+        key_index = np.where(leaf_mask, lo_all, (lo_all + hi_all) // 2)
+        if key_arr is not None:
+            # Kept as an array: np.float64 is a float subclass, so the
+            # node_key() accessor behaves identically without paying an
+            # O(m) tolist at build time.
+            node_key = key_arr[key_index]
+        else:
+            keys = self.keys
+            node_key = [keys[i] for i in key_index.tolist()]
+        leaf_ids = np.nonzero(leaf_mask)[0]
+        leaf_node_of = np.empty(n, dtype=np.intp)
+        leaf_node_of[lo_all[leaf_mask]] = leaf_ids
+
+        # Retained for vectorized consumers (the packed alias-table
+        # builder), sparing them list -> array round-trips of the same
+        # data; the list mirrors below stay authoritative for scalar use.
+        self._np_arrays = {
+            "lo": lo_all,
+            "hi": hi_all,
+            "left": left_all,
+            "right": right_all,
+            "node_weight": node_weight,
+            "leaf_weight": w,
+        }
+
+        self._left = left_all.tolist()
+        self._right = right_all.tolist()
+        self._lo = lo_all.tolist()
+        self._hi = hi_all.tolist()
+        self._node_key = node_key
+        self._node_weight = node_weight.tolist()
+        self._leaf_node_of = leaf_node_of.tolist()
+        self._level_bounds = level_bounds
 
     # ------------------------------------------------------------------
     # basic node accessors
@@ -136,6 +286,35 @@ class StaticBST:
         method calls; callers must not mutate the lists.
         """
         return self._left, self._right, self._node_weight, self._lo
+
+    def span_arrays(self) -> Tuple[List[int], List[int]]:
+        """Raw ``(span_lo, span_hi)`` parallel lists over node ids.
+
+        The half-open leaf range of every node, exposed for vectorized
+        level-at-a-time consumers; callers must not mutate the lists.
+        """
+        return self._lo, self._hi
+
+    def numpy_arrays(self) -> Optional[dict]:
+        """Numpy mirrors of the packed node arrays, or ``None``.
+
+        Populated only by the vectorized build: keys ``lo``, ``hi``,
+        ``left``, ``right``, ``node_weight`` (per node id) and
+        ``leaf_weight`` (per sorted-key index). Vectorized consumers use
+        these to skip re-coercing the equivalent lists; callers must not
+        mutate the arrays.
+        """
+        return self._np_arrays
+
+    def level_bounds(self) -> List[Tuple[int, int]]:
+        """Per-level ``(start, end)`` node-id ranges, root level first.
+
+        Node ids are assigned breadth-first, so each tree level is one
+        contiguous id interval — the property the packed alias-table
+        builder exploits to construct a whole level in one kernel call.
+        Callers must not mutate the list.
+        """
+        return self._level_bounds
 
     def node_weight(self, node: int) -> float:
         """``w(u)``: total weight of leaf keys in the subtree of ``node``."""

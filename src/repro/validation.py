@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
+from repro.core import kernels
 from repro.errors import InvalidWeightError
 
 
@@ -14,7 +15,27 @@ def validate_weights(weights: Sequence[float], *, context: str = "sampler") -> L
     The paper's problem statements (§1, §3.1) require *positive* weights:
     a zero-weight element can simply be dropped by the caller, and negative
     or non-finite weights make the sampling distribution undefined.
+
+    Large numeric inputs are checked in two vectorized passes when numpy
+    is available; anything numpy cannot coerce — or any input containing
+    an offending weight — falls through to the scalar loop, which raises
+    with the exact index and repr of the first bad entry.
     """
+    n = len(weights)
+    if kernels.use_batch_build(n):
+        np = kernels.np
+        try:
+            arr = np.asarray(weights, dtype=np.float64)
+        except (TypeError, ValueError):
+            arr = None
+        if (
+            arr is not None
+            and arr.ndim == 1
+            and arr.size == n
+            and bool(np.isfinite(arr).all())
+            and bool((arr > 0.0).all())
+        ):
+            return arr.tolist()
     cleaned: List[float] = []
     for index, weight in enumerate(weights):
         value = float(weight)
