@@ -7,6 +7,7 @@ Run with::
     pytest benchmarks/ --benchmark-only
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -15,6 +16,26 @@ import pytest
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """With metrics on, leave a sidecar JSON of the run's counters.
+
+    The path comes from ``REPRO_METRICS_SIDECAR`` (default
+    ``benchmarks/metrics-sidecar.json``); CI uploads it as an artifact so
+    per-query cost accounting rides along with the timing numbers.
+    """
+    from repro import obs
+
+    if not obs.ENABLED:
+        return
+    default = str(Path(__file__).resolve().parent / "metrics-sidecar.json")
+    path = os.environ.get(obs.ENV_SIDECAR, default)
+    obs.write_sidecar(
+        path,
+        obs.snapshot(),
+        extra={"suite": "benchmarks", "exitstatus": int(exitstatus)},
+    )
 
 
 @pytest.fixture(params=["scalar", "batch"])

@@ -18,6 +18,7 @@ See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
 reproduced guarantees.
 """
 
+from repro import obs
 from repro.core import (
     AliasSampler,
     ApproximateDynamicSampler,
@@ -84,6 +85,8 @@ from repro.substrates import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # observability
+    "obs",
     # core techniques
     "AliasSampler",
     "ApproximateDynamicSampler",

@@ -1,22 +1,26 @@
-"""``python -m repro`` — package info and pointers.
+"""``python -m repro`` — package info, pointers, and the obs dump.
 
-The actual entry points are ``python -m repro.experiments`` (claim
-tables) and the pytest suites; this module prints a map.
+``python -m repro`` prints a map of entry points; ``python -m repro obs``
+exercises a small representative workload with metrics enabled and dumps
+the resulting :mod:`repro.obs` snapshot (table, JSON, or Prometheus text).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 import repro
+from repro import obs
 from repro.experiments.runner import ALL_EXPERIMENTS
 
 
-def main() -> int:
+def _info() -> int:
     print(f"repro {repro.__version__} — Independent Query Sampling (Tao, PODS 2022)")
     print()
     print("Entry points:")
     print("  python -m repro.experiments [--quick] [ids]   claim tables (EXPERIMENTS.md)")
+    print("  python -m repro obs [--format F] [--out PATH] metrics snapshot (OBSERVABILITY.md)")
     print("  pytest tests/                                 unit/integration/property suites")
     print("  pytest benchmarks/ --benchmark-only           pytest-benchmark timings")
     print("  python examples/quickstart.py                 first steps")
@@ -24,6 +28,123 @@ def main() -> int:
     print(f"Experiments: {', '.join(ALL_EXPERIMENTS)}")
     print(f"Public API: {len(repro.__all__)} exported names (see help(repro))")
     return 0
+
+
+def _exercise_workload(n: int = 4096, s: int = 64, queries: int = 16) -> None:
+    """Touch every instrumented subsystem once so the dump is non-trivial."""
+    from repro import (
+        AliasSampler,
+        AliasAugmentedRangeSampler,
+        BucketDynamicSampler,
+        ChunkedRangeSampler,
+        EMMachine,
+        EMRangeSampler,
+        FenwickDynamicSampler,
+        SetUnionSampler,
+        TreeWalkRangeSampler,
+    )
+    keys = [float(v) for v in range(n)]
+    weights = [1.0 + (v % 7) for v in range(n)]
+
+    AliasSampler(keys, weights, rng=1).sample_many(s)
+    for structure in (
+        TreeWalkRangeSampler(keys, weights=weights, rng=2),
+        AliasAugmentedRangeSampler(keys, weights=weights, rng=3),
+        ChunkedRangeSampler(keys, weights=weights, rng=4),
+    ):
+        for q in range(queries):
+            lo = float(q * (n // (2 * queries)))
+            structure.sample(lo, lo + n / 2.0, s)
+        structure.sample_without_replacement(0.0, float(n), s)
+    fenwick = FenwickDynamicSampler(rng=6)
+    bucket = BucketDynamicSampler(rng=7)
+    for v, weight in enumerate(weights[:256]):
+        fenwick.insert(v, weight)
+        bucket.insert(v, weight)
+    fenwick.sample_many(s)
+    bucket.sample_many(s)
+    sets = [list(range(j * 64, (j + 1) * 64)) for j in range(16)]
+    union = SetUnionSampler(sets, rng=8)
+    union.sample_many(list(range(len(sets))), s)
+    machine = EMMachine(block_size=16, memory_blocks=4)
+    em = EMRangeSampler(machine, keys[:1024], rng=9, pool_blocks=2)
+    for q in range(queries):
+        em.query(float(q), float(q) + 512.0, s)
+
+
+def _format_table(snapshot: dict) -> str:
+    lines = ["counters:"]
+    for name, value in snapshot["counters"].items():
+        lines.append(f"  {name:<40} {value}")
+    if snapshot["gauges"]:
+        lines.append("gauges:")
+        for name, value in snapshot["gauges"].items():
+            lines.append(f"  {name:<40} {value}")
+    if snapshot["histograms"]:
+        lines.append("histograms:")
+        for name, data in snapshot["histograms"].items():
+            lines.append(
+                f"  {name:<40} count={data['count']} mean={data['mean']:.3g}"
+            )
+    lines.append("derived:")
+    for name, value in snapshot["derived"].items():
+        rendered = "n/a" if value is None else f"{value:.4g}"
+        lines.append(f"  {name:<40} {rendered}")
+    return "\n".join(lines)
+
+
+def _obs_dump(fmt: str, out: str | None, no_workload: bool) -> int:
+    was_enabled = obs.ENABLED
+    obs.enable()
+    try:
+        if not no_workload:
+            obs.reset()
+            _exercise_workload()
+        snapshot = obs.snapshot(include_spans=(fmt == "json"))
+    finally:
+        if not was_enabled:
+            obs.disable()
+    if fmt == "json":
+        text = obs.to_json(snapshot)
+    elif fmt == "prometheus":
+        text = obs.to_prometheus(snapshot)
+    else:
+        text = _format_table(snapshot)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {fmt} snapshot to {out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__.splitlines()[0]
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    obs_parser = subparsers.add_parser(
+        "obs", help="run a representative workload and dump the metrics snapshot"
+    )
+    obs_parser.add_argument(
+        "--format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+        help="output format (default: table)",
+    )
+    obs_parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write to a file instead of stdout"
+    )
+    obs_parser.add_argument(
+        "--no-workload",
+        action="store_true",
+        help="dump current process counters without running the exercise workload",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "obs":
+        return _obs_dump(args.format, args.out, args.no_workload)
+    return _info()
 
 
 if __name__ == "__main__":

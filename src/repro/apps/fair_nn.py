@@ -18,12 +18,18 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core import kernels
 from repro.core.set_union import SetUnionSampler
 from repro.errors import BuildError, EmptyQueryError, SampleBudgetExceededError
 from repro.substrates.grid import Point, ShiftedGrids
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
+
+_FNN_DRAWS = obs.counter("fair_nn.draws", "Fair-NN accepted neighbor draws")
+_FNN_REJECTIONS = obs.counter(
+    "fair_nn.rejections", "Fair-NN distance rejections (constant/draw if well-spread)"
+)
 
 
 def euclidean(a: Point, b: Point) -> float:
@@ -97,6 +103,9 @@ class FairNearNeighbor:
             index = self._union_sampler.sample(group)
             point = self._points[index]
             if euclidean(point, query) <= self.radius:
+                if obs.ENABLED:
+                    _FNN_DRAWS.inc()
+                    _FNN_REJECTIONS.add(attempts - 1)
                 return point
             self.total_rejections += 1
 
@@ -148,7 +157,11 @@ class FairNearNeighbor:
             else:
                 cutoff = block - 1
             attempts += cutoff + 1
-            self.total_rejections += int((~accepted[: cutoff + 1]).sum())
+            rejected = int((~accepted[: cutoff + 1]).sum())
+            self.total_rejections += rejected
+            if obs.ENABLED:
+                _FNN_DRAWS.add((cutoff + 1) - rejected)
+                _FNN_REJECTIONS.add(rejected)
             for index in indices[: cutoff + 1][accepted[: cutoff + 1]].tolist():
                 result.append(self._points[index])
         return result

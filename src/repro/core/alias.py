@@ -24,12 +24,18 @@ import math
 import random
 from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
 
+from repro import obs
 from repro.core import kernels
 from repro.errors import BuildError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size, validate_weights
 
 T = TypeVar("T")
+
+#: Theorem-1 cost accounting: every alias-table draw is one O(1) unit.
+#: Recorded at call granularity (never inside the per-draw loop), so the
+#: disabled path stays within noise of uninstrumented code.
+_DRAWS = obs.counter("alias.draws", "Alias-structure draws (Theorem 1, O(1) each)")
 
 AliasTables = Tuple[List[float], List[int]]
 
@@ -158,6 +164,8 @@ class AliasSampler(Generic[T]):
 
     def sample_index(self) -> int:
         """Draw the index of one weighted sample in O(1)."""
+        if obs.ENABLED:
+            _DRAWS.inc()
         return alias_draw(self._prob, self._alias, self._rng)
 
     def sample(self) -> T:
@@ -174,16 +182,24 @@ class AliasSampler(Generic[T]):
         items = self._items
         if kernels.use_batch(s):
             return [items[i] for i in self._batch_indices(s)]
-        return [items[self.sample_index()] for _ in range(s)]
+        if obs.ENABLED:
+            _DRAWS.add(s)
+        prob, alias, rng = self._prob, self._alias, self._rng
+        return [items[alias_draw(prob, alias, rng)] for _ in range(s)]
 
     def sample_indices(self, s: int) -> List[int]:
         """Draw ``s`` independent sample indices in O(s)."""
         validate_sample_size(s)
         if kernels.use_batch(s):
             return self._batch_indices(s)
-        return [self.sample_index() for _ in range(s)]
+        if obs.ENABLED:
+            _DRAWS.add(s)
+        prob, alias, rng = self._prob, self._alias, self._rng
+        return [alias_draw(prob, alias, rng) for _ in range(s)]
 
     def _batch_indices(self, s: int) -> List[int]:
+        if obs.ENABLED:
+            _DRAWS.add(s)
         if self._np_tables is None:
             self._np_tables = kernels.as_alias_arrays(self._prob, self._alias)
         prob, alias = self._np_tables

@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Generic, List, Optional, Tuple, TypeVar
 
+from repro import obs
 from repro.core import kernels
 from repro.errors import EmptyQueryError, InvalidWeightError
 from repro.substrates.fenwick import FenwickTree
@@ -31,6 +32,17 @@ from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
 
 T = TypeVar("T")
+
+_FENWICK_DRAWS = obs.counter(
+    "dynamic.fenwick.draws", "Fenwick dynamic-sampler draws (O(log n) each)"
+)
+_BUCKET_DRAWS = obs.counter(
+    "dynamic.bucket.draws", "Bucket dynamic-sampler accepted draws"
+)
+_BUCKET_REJECTIONS = obs.counter(
+    "dynamic.bucket.rejections",
+    "Bucket-sampler rejected proposals (acceptance >= 1/2, so expected <= 1/draw)",
+)
 
 _TOMBSTONE = object()
 
@@ -94,6 +106,8 @@ class FenwickDynamicSampler(Generic[T]):
         """One independent weighted sample in O(log n)."""
         if self._size == 0:
             raise EmptyQueryError("sampler is empty")
+        if obs.ENABLED:
+            _FENWICK_DRAWS.inc()
         rng = self._rng
         for _ in range(4):
             target = rng.random() * self._tree.total
@@ -119,6 +133,8 @@ class FenwickDynamicSampler(Generic[T]):
         return [self.sample() for _ in range(s)]
 
     def _sample_many_batch(self, s: int) -> List[T]:
+        if obs.ENABLED:
+            _FENWICK_DRAWS.add(s)
         np = kernels.np
         gen = kernels.batch_generator(self._rng)
         cum = np.cumsum(np.asarray(self._weights, dtype=np.float64))
@@ -259,12 +275,16 @@ class BucketDynamicSampler(Generic[T]):
         """
         if self._size == 0:
             raise EmptyQueryError("sampler is empty")
+        enabled = obs.ENABLED
+        proposals = 0
         rng = self._rng
         bucket_items = self._bucket_items
         total_bound = 0.0
         for bucket, items in bucket_items.items():
             total_bound += len(items) * math.ldexp(1.0, bucket + 1)
         while True:
+            if enabled:
+                proposals += 1
             # Pick a bucket proportional to its bound mass (linear scan
             # over the O(log W) active buckets).
             target = rng.random() * total_bound
@@ -283,6 +303,9 @@ class BucketDynamicSampler(Generic[T]):
             # Rejection: accept with probability w / 2^{j+1} ≥ 1/2.
             ceiling = math.ldexp(1.0, chosen_bucket + 1)
             if rng.random() * ceiling < weights[index]:
+                if enabled:
+                    _BUCKET_DRAWS.inc()
+                    _BUCKET_REJECTIONS.add(proposals - 1)
                 return items[index]  # type: ignore[return-value]
 
     def sample_many(self, s: int) -> List[T]:
@@ -333,6 +356,16 @@ class BucketDynamicSampler(Generic[T]):
             )
             flat_index = offsets_arr[buckets] + picks
             accepted = gen.random(block) * ceilings_arr[buckets] < flat_w[flat_index]
+            if obs.ENABLED:
+                # Count proposals only up to the one yielding the last
+                # needed sample, matching the scalar rejection loop.
+                taken = min(need, int(accepted.sum()))
+                if taken:
+                    examined = int(np.searchsorted(np.cumsum(accepted), taken)) + 1
+                else:
+                    examined = block
+                _BUCKET_DRAWS.add(taken)
+                _BUCKET_REJECTIONS.add(examined - taken)
             for index in flat_index[accepted][:need].tolist():
                 result.append(flat_items[index])  # type: ignore[arg-type]
         return result

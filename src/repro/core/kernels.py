@@ -161,6 +161,7 @@ def bst_topdown_batch(
     start_nodes: Any,
     gen: "np.random.Generator",
     no_child: int = -1,
+    visit_out: Any = None,
 ) -> Any:
     """Walk a batch of tokens down a binary tree, weighted at each node.
 
@@ -170,11 +171,19 @@ def bst_topdown_batch(
     ``w(left)/w(u)`` — the §3.2 fanout-2 walk — and the loop runs one
     vectorized level per iteration, so total work is O(s · height) numpy
     element-ops with only O(height) interpreter steps.
+
+    ``visit_out``, when given, is a one-element list accumulating the
+    number of node-descent steps taken (``repro.obs`` cost accounting:
+    one step == one node visit below the start node). The count is
+    maintained per level — O(height) adds — so passing it does not
+    change the kernel's asymptotics; ``None`` skips it entirely.
     """
     nodes = np.array(start_nodes, dtype=np.intp, copy=True)
     active = left[nodes] != no_child
     while active.any():
         at = np.nonzero(active)[0]
+        if visit_out is not None:
+            visit_out[0] += len(at)
         current = nodes[at]
         left_child = left[current]
         coins = gen.random(len(at)) * node_weight[current]

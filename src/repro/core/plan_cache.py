@@ -30,6 +30,14 @@ import os
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional
 
+from repro import obs
+
+# Registry-backed counters (repro.obs), aggregated across every cache in
+# the process; the per-instance ints remain for the ``stats()`` shim.
+_HITS = obs.counter("plan_cache.hits", "Query-plan cache hits (all caches)")
+_MISSES = obs.counter("plan_cache.misses", "Query-plan cache misses (all caches)")
+_EVICTIONS = obs.counter("plan_cache.evictions", "Query-plan cache LRU evictions")
+
 #: Plans kept per sampler when neither the constructor argument nor the
 #: environment variable overrides it. Sized for a hot-range working set:
 #: each plan is O(log n) ids and floats, so the cache is a few kilobytes.
@@ -101,9 +109,13 @@ class QueryPlanCache:
         entry = self._entries.get(key, _MISSING)
         if entry is _MISSING:
             self.misses += 1
+            if obs.ENABLED:
+                _MISSES.inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if obs.ENABLED:
+            _HITS.inc()
         return entry
 
     def put(self, key: Hashable, plan: Any) -> None:
@@ -117,13 +129,24 @@ class QueryPlanCache:
         if len(entries) > self._capacity:
             entries.popitem(last=False)
             self.evictions += 1
+            if obs.ENABLED:
+                _EVICTIONS.inc()
 
     def clear(self) -> None:
         """Drop all plans; counters are preserved."""
         self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot: hits, misses, evictions, size, capacity."""
+        """Counter snapshot: hits, misses, evictions, size, capacity.
+
+        Thin shim kept for backward compatibility: the authoritative,
+        process-wide counters now live in the ``repro.obs`` registry
+        (``plan_cache.hits`` / ``.misses`` / ``.evictions``, populated
+        when ``REPRO_METRICS`` is enabled, with a derived
+        ``plan_cache.hit_rate``). This method reports the bespoke
+        *per-instance* tallies, which record regardless of the metrics
+        switch.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -24,6 +24,7 @@ import math
 from bisect import bisect_left, bisect_right
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core import kernels
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
 from repro.core.plan_cache import QueryPlanCache
@@ -33,6 +34,35 @@ from repro.substrates.bst import NO_CHILD, StaticBST
 from repro.substrates.fenwick import FenwickTree
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size, validate_weights
+
+# ----------------------------------------------------------------------
+# repro.obs cost accounting: the quantities the §3.2/§4 theorems bound.
+# All increments are guarded by ``obs.ENABLED`` at call (or per-cover-
+# part) granularity so the disabled path stays uninstrumented-fast.
+# ----------------------------------------------------------------------
+_TW_QUERIES = obs.counter("range.treewalk.queries", "TreeWalk (§3.2) queries")
+_TW_DRAWS = obs.counter("range.treewalk.draws", "TreeWalk samples drawn")
+_TW_VISITS = obs.counter(
+    "range.treewalk.node_visits",
+    "BST nodes touched by TreeWalk descents (O(s log n) per query, §3.2)",
+)
+_L2_QUERIES = obs.counter("range.lemma2.queries", "Alias-augmented (Lemma 2) queries")
+_L2_DRAWS = obs.counter("range.lemma2.draws", "Lemma-2 samples drawn")
+_L2_PROBES = obs.counter(
+    "range.lemma2.urn_probes",
+    "Per-node alias-urn probes (<= s per query: O(log n + s), Lemma 2)",
+)
+_CH_QUERIES = obs.counter("range.chunked.queries", "Chunked (Theorem 3) queries")
+_CH_DRAWS = obs.counter("range.chunked.draws", "Theorem-3 samples drawn")
+_CH_TOUCHES = obs.counter(
+    "range.chunked.chunk_touches",
+    "Distinct chunks touched per Theorem-3 query (partial + aligned)",
+)
+_WOR_DRAWS = obs.counter("wor.draws", "Without-replacement samples delivered")
+_WOR_REJECTIONS = obs.counter(
+    "wor.rejections",
+    "Duplicate rejections in the WoR loop (expected O(1)/draw for s <= |S_q|/2)",
+)
 
 
 class RangeSamplerBase:
@@ -95,6 +125,11 @@ class RangeSamplerBase:
         lo, hi = self.span_of(x, y)
         if lo >= hi:
             raise EmptyQueryError(f"no keys in [{x}, {y}]")
+        if obs.ENABLED:
+            with obs.span(
+                "range.query", structure=type(self).__name__, s=s, span=hi - lo
+            ):
+                return self.sample_span(lo, hi, s)
         return self.sample_span(lo, hi, s)
 
     def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
@@ -135,6 +170,8 @@ class RangeSamplerBase:
 
             rng = getattr(self, "_rng", None)
             indices = uniform_indices_without_replacement(lo, hi, s, rng=rng)
+            if obs.ENABLED:
+                _WOR_DRAWS.add(s)  # Floyd path: no rejections by design
             return [self.keys[i] for i in indices]
         seen = set()
         ordered: List[float] = []
@@ -151,6 +188,12 @@ class RangeSamplerBase:
             if index not in seen:
                 seen.add(index)
                 ordered.append(self.keys[index])
+        if obs.ENABLED:
+            # Lemma-2-shaped accounting: attempts - s duplicate rejections
+            # over s delivered draws; expected O(1)/draw while s <= |S_q|/2
+            # (asserted across n in tests/obs/test_instrumentation.py).
+            _WOR_DRAWS.add(s)
+            _WOR_REJECTIONS.add(attempts - s)
         return ordered
 
     def space_words(self) -> int:
@@ -208,6 +251,10 @@ class TreeWalkRangeSampler(RangeSamplerBase):
             raise EmptyQueryError("empty index range")
         tree = self._tree
         rng = self._rng
+        enabled = obs.ENABLED
+        if enabled:
+            _TW_QUERIES.inc()
+            _TW_DRAWS.add(s)
         cover, prob, alias, np_slot = self._span_plan(lo, hi)
         if kernels.use_batch(s):
             return self._sample_span_batch(cover, prob, alias, np_slot, s)
@@ -217,6 +264,26 @@ class TreeWalkRangeSampler(RangeSamplerBase):
         lefts, _, node_weights, span_lo = tree.packed_arrays()
         random = rng.random
         result: List[int] = []
+        if enabled:
+            # Instrumented twin of the walk below: identical draws (same
+            # RNG call sequence), plus a node-visit count for the §3.2
+            # cost accounting. Kept separate so the disabled path carries
+            # no per-level bookkeeping at all.
+            visits = 0
+            for _ in range(s):
+                node = cover[alias_draw(prob, alias, rng)]
+                visits += 1
+                child = lefts[node]
+                while child != NO_CHILD:
+                    visits += 1
+                    if random() * node_weights[node] < node_weights[child]:
+                        node = child
+                    else:
+                        node = child + 1
+                    child = lefts[node]
+                result.append(span_lo[node])
+            _TW_VISITS.add(visits)
+            return result
         for _ in range(s):
             node = cover[alias_draw(prob, alias, rng)]
             child = lefts[node]
@@ -250,7 +317,14 @@ class TreeWalkRangeSampler(RangeSamplerBase):
             np_slot[0] = (np.asarray(cover, dtype=np.intp), np_prob, np_alias)
         cover_ids, np_prob, np_alias = np_slot[0]
         starts = cover_ids[kernels.alias_draw_batch(np_prob, np_alias, s, gen)]
-        leaves = kernels.bst_topdown_batch(left, right, node_weight, starts, gen)
+        visit_out = [0] if obs.ENABLED else None
+        leaves = kernels.bst_topdown_batch(
+            left, right, node_weight, starts, gen, visit_out=visit_out
+        )
+        if visit_out is not None:
+            # Same convention as the scalar walk: one visit for each
+            # token's cover node plus one per descent step.
+            _TW_VISITS.add(s + visit_out[0])
         return span_lo[leaves].tolist()
 
     def space_words(self) -> int:
@@ -382,17 +456,29 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
         if lo >= hi:
             raise EmptyQueryError("empty index range")
         rng = self._rng
+        enabled = obs.ENABLED
+        if enabled:
+            _L2_QUERIES.inc()
+            _L2_DRAWS.add(s)
         cover_weights, entries = self._cover_plan(lo, hi)
         counts = multinomial_split(cover_weights, s, rng)
         batched = kernels.use_batch(s)
         gen = kernels.batch_generator(rng) if batched else None
         result: List[int] = []
+        probes = 0
         for (node, node_lo, tables), count in zip(entries, counts):
             if count == 0:
                 continue
             if tables is None:  # leaf
                 result.extend([node_lo] * count)
-            elif batched and count >= kernels.BATCH_MIN_SIZE:
+                continue
+            if enabled:
+                # Urn probes: each non-leaf draw touches exactly one urn
+                # of the node's pre-built alias table (Lemma 2's O(1)
+                # per-sample step). Accumulated per cover part, ≤ 2 log n
+                # parts, so the bookkeeping is O(log n) per query.
+                probes += count
+            if batched and count >= kernels.BATCH_MIN_SIZE:
                 prob, alias = self._np_tables_for(node)
                 draws = kernels.alias_draw_batch(prob, alias, count, gen)
                 result.extend((node_lo + draws).tolist())
@@ -401,6 +487,8 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
                 result.extend(
                     int(node_lo + alias_draw(prob, alias, rng)) for _ in range(count)
                 )
+        if enabled and probes:
+            _L2_PROBES.add(probes)
         return result
 
     def _np_tables_for(self, node: int):
@@ -552,6 +640,8 @@ class ChunkedRangeSampler(RangeSamplerBase):
         """Draw from a partial chunk via an on-the-fly alias structure."""
         if tables is None:
             tables = self._partial_plan(lo, hi)
+        if obs.ENABLED:
+            _CH_TOUCHES.inc()  # a partial part touches exactly one chunk
         prob, alias, np_slot = tables
         rng = self._rng
         if kernels.use_batch(count):
@@ -572,6 +662,8 @@ class ChunkedRangeSampler(RangeSamplerBase):
         per_chunk: dict = {}
         for chunk in chunk_draws:
             per_chunk[chunk] = per_chunk.get(chunk, 0) + 1
+        if obs.ENABLED:
+            _CH_TOUCHES.add(len(per_chunk))
         result: List[int] = []
         for chunk, chunk_count in per_chunk.items():
             c_lo, _ = self._chunk_bounds(chunk)
@@ -607,6 +699,11 @@ class ChunkedRangeSampler(RangeSamplerBase):
         prob_mat, alias_mat, lengths, starts = self._np_chunk_matrix
         gen = kernels.batch_generator(self._rng)
         chunks = np.asarray(chunk_draws, dtype=np.intp)
+        if obs.ENABLED:
+            # np.unique is an enabled-only cost: the distinct-chunk count
+            # is exactly the "chunk touches" quantity §4.2's two-level
+            # bound charges for.
+            _CH_TOUCHES.add(int(np.unique(chunks).size))
         count = len(chunks)
         urns = np.minimum(
             (gen.random(count) * lengths[chunks]).astype(np.intp), lengths[chunks] - 1
@@ -644,6 +741,9 @@ class ChunkedRangeSampler(RangeSamplerBase):
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
+        if obs.ENABLED:
+            _CH_QUERIES.inc()
+            _CH_DRAWS.add(s)
         parts = self._span_plan(lo, hi)
 
         if len(parts) == 1:

@@ -33,6 +33,7 @@ import math
 from bisect import bisect_left, bisect_right
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro import obs
 from repro.core import kernels
 from repro.errors import BuildError, EmptyQueryError, SampleBudgetExceededError
 from repro.substrates.rng import RNGLike, ensure_rng
@@ -40,6 +41,17 @@ from repro.substrates.sketch import KMVSketch
 from repro.validation import validate_sample_size
 
 T = TypeVar("T", bound=Hashable)
+
+# Registry mirrors of the per-instance diagnostics below: the §7 query
+# cost is Θ(m)-expected interval attempts per accepted sample, and the
+# counters make attempts/query directly assertable.
+_SU_QUERIES = obs.counter("set_union.queries", "Set-union samples delivered (§7)")
+_SU_ATTEMPTS = obs.counter(
+    "set_union.attempts", "Interval-rejection attempts across set-union queries"
+)
+_SU_CLAMPS = obs.counter(
+    "set_union.clamp_events", "Acceptance-cap clamp events (§7 event (4) failures)"
+)
 
 
 class SetUnionSampler:
@@ -253,6 +265,8 @@ class SetUnionSampler:
                 # Event (4) of §7 failed for this interval; clamping keeps
                 # the output valid with a (bounded, counted) bias.
                 self.cap_clamp_events += 1
+                if obs.ENABLED:
+                    _SU_CLAMPS.inc()
                 acceptance = 1.0
             if rng.random() < acceptance:
                 ranks = list(members.keys())
@@ -261,6 +275,9 @@ class SetUnionSampler:
                 self.total_attempts += attempts
                 self.total_queries += 1
                 self._queries_since_rebuild += 1
+                if obs.ENABLED:
+                    _SU_QUERIES.inc()
+                    _SU_ATTEMPTS.add(attempts)
                 return members[chosen]
 
     def sample_many(self, group: Sequence[int], s: int) -> List[T]:
@@ -356,7 +373,11 @@ class SetUnionSampler:
                 examined = block
             attempts_used += examined
             self.total_attempts += examined
-            self.cap_clamp_events += int(clamped[: cutoff + 1].sum())
+            clamp_count = int(clamped[: cutoff + 1].sum())
+            self.cap_clamp_events += clamp_count
+            if obs.ENABLED:
+                _SU_ATTEMPTS.add(examined)
+                _SU_CLAMPS.add(clamp_count)
 
             hit = np.nonzero(accepted[: cutoff + 1])[0]
             if len(hit) == 0:
@@ -370,4 +391,6 @@ class SetUnionSampler:
             self.last_attempts = max(1, examined // len(hit))
             self.total_queries += len(hit)
             self._queries_since_rebuild += len(hit)
+            if obs.ENABLED:
+                _SU_QUERIES.add(len(hit))
         return result

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core import kernels
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
 from repro.core.range_sampler import ChunkedRangeSampler
@@ -32,6 +33,13 @@ from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
 
 NO_NODE = -1
+
+_TOPDOWN_DRAWS = obs.counter(
+    "tree.topdown.draws", "Top-down (§3.2) tree-sampler leaf draws"
+)
+_FLAT_DRAWS = obs.counter(
+    "tree.flat.draws", "FlatTreeSampler (§5, Proposition 1) leaf draws"
+)
 
 
 class Tree:
@@ -237,6 +245,8 @@ class TreeSampler:
 
     def sample(self, q: int) -> int:
         """One weighted leaf sample from the subtree of ``q``."""
+        if obs.ENABLED:
+            _TOPDOWN_DRAWS.inc()
         tree = self._tree
         rng = self._rng
         node = q
@@ -259,6 +269,8 @@ class TreeSampler:
         return [self.sample(q) for _ in range(s)]
 
     def _sample_many_batch(self, q: int, s: int) -> List[int]:
+        if obs.ENABLED:
+            _TOPDOWN_DRAWS.add(s)
         np = kernels.np
         tree = self._tree
         if self._np_leaf_mask is None:
@@ -351,6 +363,8 @@ class FlatTreeSampler:
     def sample_many(self, q: int, s: int) -> List[int]:
         """``s`` independent weighted leaf samples from the subtree of ``q``."""
         validate_sample_size(s)
+        if obs.ENABLED:
+            _FLAT_DRAWS.add(s)
         lo, hi = self._span[q]
         if self._uniform:
             if kernels.use_batch(s):

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.alias import alias_draw, build_alias_tables
 from repro.core.schemes import multinomial_split
 from repro.em.btree import Ref, StaticBTree
@@ -36,6 +37,12 @@ from repro.em.model import EMMachine
 from repro.errors import BuildError, EmptyQueryError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
+
+# Shared across the EM samplers (same registry entry is fetched in
+# sample_pool.py), so em.ios_per_query aggregates over whichever §8
+# structure an experiment exercises.
+_EM_QUERIES = obs.counter("em.queries", "EM sampling queries (§8 structures)")
+_EM_REFILLS = obs.counter("em.pool_refills", "Sample-pool refills (amortised cost)")
 
 
 class EMRangeSampler:
@@ -93,6 +100,8 @@ class EMRangeSampler:
     def _refill(self, ref: Ref) -> List:
         """Draw a fresh pool of samples for the subtree behind ``ref``."""
         self.refill_count += 1
+        if obs.ENABLED:
+            _EM_REFILLS.inc()
         rng = self._rng
         capacity = self._pool_capacity
         kind, identifier = ref
@@ -159,6 +168,8 @@ class EMRangeSampler:
     def query(self, x: float, y: float, s: int) -> List[float]:
         """``s`` independent (weighted) samples of ``S ∩ [x, y]``."""
         validate_sample_size(s)
+        if obs.ENABLED:
+            _EM_QUERIES.inc()
         units = self.tree.canonical_units_weighted(x, y)
         if not units:
             raise EmptyQueryError(f"no values in [{x}, {y}]")
@@ -197,6 +208,8 @@ class EMRangeSampler:
     def naive_query(self, x: float, y: float, s: int) -> List[float]:
         """Baseline: report ``S ∩ [x, y]`` in full, then sample (Θ(|S_q|/B) I/Os)."""
         validate_sample_size(s)
+        if obs.ENABLED:
+            _EM_QUERIES.inc()
         units = self.tree.canonical_units(x, y)
         if not units:
             raise EmptyQueryError(f"no values in [{x}, {y}]")

@@ -17,7 +17,15 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.errors import ExternalMemoryError
+
+# Process-wide mirrors of the per-machine counters below, unified under
+# the repro.obs registry so measured I/Os per query can be asserted
+# against the §3.3/§8 lower bound in the same snapshot as every other
+# sampler cost (``em.ios_per_query`` in the derived section).
+_BLOCK_READS = obs.counter("em.block_reads", "EM block read I/Os (all machines)")
+_BLOCK_WRITES = obs.counter("em.block_writes", "EM block write I/Os (all machines)")
 
 
 @dataclass
@@ -40,6 +48,17 @@ class IOStats:
     def since(self, checkpoint: int) -> int:
         """I/Os performed since a :meth:`checkpoint` value."""
         return self.total - checkpoint
+
+    def reset(self) -> None:
+        """Zero the counters and forget checkpoints.
+
+        Call between experiments sharing one machine (or process) so a
+        later measurement window doesn't inherit stale I/O counts; the
+        registry-side aggregates are reset separately via ``obs.reset()``.
+        """
+        self.reads = 0
+        self.writes = 0
+        self.history.clear()
 
 
 class EMMachine:
@@ -110,6 +129,8 @@ class EMMachine:
             self._cache.move_to_end(block_id)
             return self._cache[block_id]
         self.stats.reads += 1
+        if obs.ENABLED:
+            _BLOCK_READS.inc()
         frame = list(self._disk[block_id])
         self._install(block_id, frame)
         return frame
@@ -135,6 +156,8 @@ class EMMachine:
             victim, victim_frame = self._cache.popitem(last=False)
             if victim in self._dirty:
                 self.stats.writes += 1
+                if obs.ENABLED:
+                    _BLOCK_WRITES.inc()
                 self._disk[victim] = victim_frame
                 self._dirty.discard(victim)
         self._cache[block_id] = frame
@@ -143,6 +166,8 @@ class EMMachine:
         """Write every dirty frame back to disk (counting the writes)."""
         for block_id in list(self._dirty):
             self.stats.writes += 1
+            if obs.ENABLED:
+                _BLOCK_WRITES.inc()
             self._disk[block_id] = self._cache[block_id]
         self._dirty.clear()
 

@@ -25,12 +25,18 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.em.array import ExternalArray, ExternalWriter
 from repro.em.model import EMMachine
 from repro.em.sorting import external_merge_sort
 from repro.errors import BuildError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
+
+# Same registry entries as em_range_sampler.py — em.ios_per_query in the
+# derived snapshot divides the machine I/Os by this shared query count.
+_EM_QUERIES = obs.counter("em.queries", "EM sampling queries (§8 structures)")
+_EM_REFILLS = obs.counter("em.pool_refills", "Sample-pool refills (amortised cost)")
 
 
 class NaiveEMSetSampler:
@@ -49,6 +55,8 @@ class NaiveEMSetSampler:
     def query(self, s: int) -> List:
         """``s`` WR samples via ``s`` random accesses (≈ s I/Os cold)."""
         validate_sample_size(s)
+        if obs.ENABLED:
+            _EM_QUERIES.inc()
         rng = self._rng
         n = len(self._data)
         return [self._data.get(int(rng.random() * n) % n) for _ in range(s)]
@@ -89,6 +97,8 @@ class SamplePoolSetSampler:
         """Refill the pool with fresh iid WR samples using the sort recipe."""
         start_ios = self.machine.stats.total
         self.rebuild_count += 1
+        if obs.ENABLED:
+            _EM_REFILLS.inc()
         rng = self._rng
         n = len(self._data)
 
@@ -135,6 +145,8 @@ class SamplePoolSetSampler:
         whenever it runs out mid-query, exactly as §8 prescribes.
         """
         validate_sample_size(s)
+        if obs.ENABLED:
+            _EM_QUERIES.inc()
         assert self._pool is not None
         result: List = []
         while len(result) < s:

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from repro.apps.workloads import distinct_uniform_reals, interval_with_selectivity, zipf_weights
 from repro.core.naive import NaiveRangeSampler
-from repro.core.range_sampler import AliasAugmentedRangeSampler, ChunkedRangeSampler
+from repro.core.range_sampler import (
+    AliasAugmentedRangeSampler,
+    ChunkedRangeSampler,
+    TreeWalkRangeSampler,
+)
 from repro.experiments.runner import ExperimentResult, time_per_call
 
 
@@ -23,6 +27,7 @@ def run(quick: bool = False) -> ExperimentResult:
             "selectivity",
             "|S_q|",
             "naive_us",
+            "treewalk_us",
             "lemma2_us",
             "theorem3_us",
             "naive/theorem3",
@@ -33,21 +38,30 @@ def run(quick: bool = False) -> ExperimentResult:
     keys = distinct_uniform_reals(n, rng=1)
     weights = zipf_weights(n, alpha=0.8, rng=2)
     naive = NaiveRangeSampler(keys, weights, rng=3)
+    treewalk = TreeWalkRangeSampler(keys, weights, rng=7)
     lemma2 = AliasAugmentedRangeSampler(keys, weights, rng=4)
     theorem3 = ChunkedRangeSampler(keys, weights, rng=5)
     for selectivity in (0.001, 0.01, 0.1, 0.5):
         x, y = interval_with_selectivity(keys, selectivity, rng=6)
         result_size = sum(1 for key in keys if x <= key <= y)
         naive_seconds = time_per_call(lambda: naive.sample(x, y, s), repeats=3)
+        treewalk_seconds = time_per_call(lambda: treewalk.sample(x, y, s), repeats=5)
         lemma2_seconds = time_per_call(lambda: lemma2.sample(x, y, s), repeats=5)
         theorem3_seconds = time_per_call(lambda: theorem3.sample(x, y, s), repeats=5)
+        # WoR variant (§1) — cheap, and it feeds the wor.* cost counters
+        # so metrics runs report rejections/draw alongside the timings.
+        lemma2.sample_without_replacement(x, y, s)
         result.add_row(
             selectivity,
             result_size,
             naive_seconds * 1e6,
+            treewalk_seconds * 1e6,
             lemma2_seconds * 1e6,
             theorem3_seconds * 1e6,
             naive_seconds / theorem3_seconds,
         )
     result.add_note(f"n = {n}, s = {s}; naive/theorem3 ratio should grow ~linearly in |S_q|")
+    result.add_note(
+        "treewalk is the §3.2 O((1+s) log n) baseline; lemma2/theorem3 are O(log n + s)"
+    )
     return result

@@ -5,7 +5,9 @@ from __future__ import annotations
 import importlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
+
+from repro import obs
 
 
 @dataclass
@@ -18,6 +20,9 @@ class ExperimentResult:
     columns: Sequence[str]
     rows: List[Sequence] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: ``repro.obs`` snapshot taken right after the run (None when the
+    #: metrics layer is disabled).
+    metrics: Optional[dict] = None
 
     def add_row(self, *values) -> None:
         self.rows.append(values)
@@ -114,4 +119,11 @@ def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
     if key not in _MODULE_OF:
         raise KeyError(f"unknown experiment {experiment_id!r}; choose from {ALL_EXPERIMENTS}")
     module = importlib.import_module(_MODULE_OF[key])
-    return module.run(quick=quick)
+    if not obs.ENABLED:
+        return module.run(quick=quick)
+    # Each experiment gets a clean measurement window; the snapshot rides
+    # on the result so __main__ can write per-experiment sidecars.
+    obs.reset()
+    result = module.run(quick=quick)
+    result.metrics = obs.snapshot()
+    return result

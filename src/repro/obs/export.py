@@ -1,0 +1,88 @@
+"""Snapshot export: JSON and Prometheus text format, plus sidecar files.
+
+The JSON form is the machine-readable sidecar the experiment runner and
+benchmark suite emit next to their results, so EXPERIMENTS.md rows can
+cite counted costs (rejections/draw, node visits/query, I/Os/query)
+alongside wall-clock numbers. The Prometheus text form is for scraping a
+long-lived serving process (`python -m repro obs --format prometheus`
+shows the exact output).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Optional
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+#: Prefix for every exported Prometheus metric name.
+PROMETHEUS_PREFIX = "repro_"
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    return PROMETHEUS_PREFIX + _NAME_RE.sub("_", name) + suffix
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    """Serialise a registry snapshot as JSON (stable key order)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True, default=str)
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters become ``repro_<name>_total``, gauges and derived ratios
+    plain gauges, histograms the standard ``_bucket``/``_sum``/``_count``
+    triplet. Span records are not exported individually — their latency
+    distributions are already present as ``span.<name>.us`` histograms.
+    """
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in snapshot.get("derived", {}).items():
+        metric = _prom_name("derived_" + name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, data in snapshot.get("histograms", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for le, count in data["buckets"]:
+            le_str = "+Inf" if le == "+Inf" else _prom_value(le)
+            lines.append(f'{metric}_bucket{{le="{le_str}"}} {count}')
+        lines.append(f"{metric}_sum {_prom_value(data['sum'])}")
+        lines.append(f"{metric}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_sidecar(path: str, snapshot: dict, extra: Optional[dict] = None) -> str:
+    """Write a metrics sidecar JSON next to a result artifact.
+
+    ``extra`` (experiment id, elapsed seconds, git rev, ...) is merged at
+    the top level under ``"meta"``; the snapshot goes under
+    ``"metrics"``. Parent directories are created. Returns ``path``.
+    """
+    payload = {"meta": extra or {}, "metrics": snapshot}
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(payload))
+        handle.write("\n")
+    return path
+
+
+__all__ = ["to_json", "to_prometheus", "write_sidecar", "PROMETHEUS_PREFIX"]

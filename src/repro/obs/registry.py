@@ -1,0 +1,326 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the accounting substrate behind every theorem-shaped
+claim in EXPERIMENTS.md: instead of inferring "expected O(1) rejections
+per draw" (Lemma 2) or "O(1 + s/B) I/Os per query" (§8) from wall-clock
+curves, instrumented hot paths count the primitive operations the
+theorems actually bound — alias draws, rejection-loop iterations, BST
+node visits, chunk touches, block I/Os — and tests assert on the counts.
+
+Design constraints, in priority order:
+
+1. **The disabled path must be ~free.** Instrumented call sites guard
+   every registry touch with ``if obs.ENABLED:`` (one global load and a
+   branch, at *call* granularity — never inside a per-draw loop), so a
+   build with ``REPRO_METRICS`` unset is within noise of one with the
+   instrumentation absent (asserted in ``tests/obs/test_offpath.py``).
+2. **Metrics never touch randomness.** Counters are plain integer adds;
+   spans read ``time.perf_counter``. Seeded sample streams are therefore
+   byte-identical whether metrics are on or off (also asserted).
+3. **Names are stable.** Instruments are registered at module import, so
+   a snapshot always contains the full metric inventory (zero-valued
+   until exercised) and dashboards/tests can rely on the keys.
+
+Counters are plain Python ints mutated under the GIL; concurrent
+increments from threads may interleave but cannot corrupt — fine for the
+cost-accounting use case (exact under the single-threaded samplers).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self) -> None:
+        """Add 1."""
+        self._value += 1
+
+    def add(self, amount: int) -> None:
+        """Add ``amount`` (must be >= 0; monotonicity is the contract)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self._value += amount
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A point-in-time float metric (cache sizes, pool cursors, ...)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        self._value += amount
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self._value})"
+
+
+#: Default histogram bucket upper bounds: powers of two covering one
+#: microsecond-ish granularity up to ~one second when observations are in
+#: microseconds, and small structural counts equally well.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(1 << j) for j in range(21))
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/sum, Prometheus-compatible.
+
+    ``buckets`` are upper bounds (an implicit ``+Inf`` bucket is always
+    appended). Observations use a binary search, O(log #buckets).
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_count", "_sum")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.name = name
+        self.help = help
+        bounds = DEFAULT_BUCKETS if buckets is None else tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets: Tuple[float, ...] = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self._count = 0
+        self._sum = 0.0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.buckets, value)] += 1
+        self._count += 1
+        self._sum += value
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    def bucket_pairs(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs, Prometheus-style."""
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, in_bucket in zip(self.buckets, self._counts):
+            running += in_bucket
+            pairs.append((bound, running))
+        pairs.append((float("inf"), self._count))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}, count={self._count}, sum={self._sum})"
+
+
+#: How many finished trace spans the registry retains for snapshots.
+SPAN_BUFFER = 128
+
+_Names = Union[str, Tuple[str, ...]]
+
+#: Derived per-query / per-draw ratios computed at snapshot time. Each
+#: entry is ``(derived_name, numerator, denominator)``; numerator and
+#: denominator may be a single counter name or a tuple of names (summed).
+#: A zero denominator yields ``None`` — the key is still present, so the
+#: snapshot schema is stable.
+DERIVED_RATIOS: Tuple[Tuple[str, _Names, _Names], ...] = (
+    ("wor.rejections_per_draw", "wor.rejections", "wor.draws"),
+    (
+        "dynamic.bucket.rejections_per_draw",
+        "dynamic.bucket.rejections",
+        "dynamic.bucket.draws",
+    ),
+    ("set_union.attempts_per_query", "set_union.attempts", "set_union.queries"),
+    ("fair_nn.rejections_per_draw", "fair_nn.rejections", "fair_nn.draws"),
+    (
+        "range.treewalk.node_visits_per_query",
+        "range.treewalk.node_visits",
+        "range.treewalk.queries",
+    ),
+    (
+        "range.lemma2.urn_probes_per_query",
+        "range.lemma2.urn_probes",
+        "range.lemma2.queries",
+    ),
+    (
+        "range.chunked.chunk_touches_per_query",
+        "range.chunked.chunk_touches",
+        "range.chunked.queries",
+    ),
+    ("bst.cover_nodes_per_cover", "bst.cover_nodes", "bst.covers"),
+    ("plan_cache.hit_rate", "plan_cache.hits", ("plan_cache.hits", "plan_cache.misses")),
+    ("em.ios_per_query", ("em.block_reads", "em.block_writes"), "em.queries"),
+)
+
+
+class MetricsRegistry:
+    """Name -> instrument map with snapshot/reset over the whole set."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: Deque[dict] = deque(maxlen=SPAN_BUFFER)
+
+    # -- instrument creation (get-or-create; names are process-global) --
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters)
+            instrument = self._counters[name] = Counter(name, help)
+        return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self._gauges)
+            instrument = self._gauges[name] = Gauge(name, help)
+        return instrument
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(name, help, buckets)
+        return instrument
+
+    def _check_free(self, name: str, own_kind: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own_kind and name in kind:
+                raise ValueError(f"metric {name!r} already registered as another type")
+
+    # -- spans ---------------------------------------------------------
+
+    def record_span(self, name: str, duration_us: float, attrs: dict) -> None:
+        self._spans.append({"name": name, "us": duration_us, "attrs": attrs})
+        self.histogram(f"span.{name}.us").observe(duration_us)
+
+    def recent_spans(self) -> List[dict]:
+        return list(self._spans)
+
+    # -- reads ---------------------------------------------------------
+
+    def value(self, name: str) -> Union[int, float]:
+        """Current value of a counter or gauge (0 if never registered)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        return 0
+
+    def _summed(self, names: _Names) -> float:
+        if isinstance(names, str):
+            return float(self.value(names))
+        return float(sum(self.value(name) for name in names))
+
+    def derived(self) -> Dict[str, Optional[float]]:
+        """The :data:`DERIVED_RATIOS`, ``None`` where the denominator is 0."""
+        out: Dict[str, Optional[float]] = {}
+        for name, numerator, denominator in DERIVED_RATIOS:
+            denom = self._summed(denominator)
+            out[name] = (self._summed(numerator) / denom) if denom else None
+        return out
+
+    def snapshot(self, include_spans: bool = True) -> dict:
+        """A JSON-serialisable view of every instrument plus derived ratios."""
+        snap: Dict[str, Any] = {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean(),
+                    "buckets": [
+                        [le if le != float("inf") else "+Inf", c]
+                        for le, c in h.bucket_pairs()
+                    ],
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+            "derived": self.derived(),
+        }
+        if include_spans:
+            snap["spans"] = self.recent_spans()
+        return snap
+
+    def reset(self) -> None:
+        """Zero every instrument and drop retained spans.
+
+        Registrations survive — the metric inventory is stable across
+        resets, which is what lets consecutive experiments in one process
+        (E1 then E9, say) each start from clean counts without re-wiring.
+        """
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+        self._spans.clear()
+
+    def names(self) -> Dict[str, List[str]]:
+        """The registered inventory, by instrument kind."""
+        return {
+            "counters": sorted(self._counters),
+            "gauges": sorted(self._gauges),
+            "histograms": sorted(self._histograms),
+        }
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "DERIVED_RATIOS",
+    "SPAN_BUFFER",
+]

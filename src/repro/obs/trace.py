@@ -1,0 +1,72 @@
+"""Lightweight per-query trace spans.
+
+A span brackets one logical operation (a range query, an EM query, a
+whole experiment) and records its wall-clock duration plus free-form
+attributes into the registry: the duration feeds a ``span.<name>.us``
+histogram and the most recent :data:`~repro.obs.registry.SPAN_BUFFER`
+spans are retained verbatim for snapshots.
+
+When metrics are disabled, :func:`repro.obs.span` hands out one shared
+no-op context manager — no allocation, no clock read — so tracing a hot
+query path costs a single function call on the off-path.
+
+Spans never consume randomness, so tracing cannot perturb seeded sample
+streams (the IQS outputs are a pure function of the seed either way).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricsRegistry
+
+
+class NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """Ignore attributes (matching :meth:`SpanTimer.set`)."""
+
+
+#: The singleton handed out whenever metrics are disabled.
+NULL_SPAN = NullSpan()
+
+
+class SpanTimer:
+    """Context manager measuring one operation into the registry."""
+
+    __slots__ = ("name", "attrs", "_registry", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, attrs: dict):
+        self._registry = registry
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-operation (e.g. result size)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "SpanTimer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration_us = (perf_counter() - self._start) * 1e6
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._registry.record_span(self.name, duration_us, self.attrs)
+        return False
+
+
+__all__ = ["NullSpan", "NULL_SPAN", "SpanTimer"]

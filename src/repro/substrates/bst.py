@@ -24,11 +24,17 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core import kernels
 from repro.errors import BuildError
 from repro.validation import validate_weights
 
 NO_CHILD = -1
+
+_BST_COVERS = obs.counter("bst.covers", "Canonical-node decompositions computed")
+_BST_COVER_NODES = obs.counter(
+    "bst.cover_nodes", "Canonical nodes returned across all covers (O(log n) each)"
+)
 
 
 class StaticBST:
@@ -382,6 +388,9 @@ class StaticBST:
                 continue
             stack.append(self._right[node])
             stack.append(self._left[node])
+        if obs.ENABLED:
+            _BST_COVERS.inc()
+            _BST_COVER_NODES.add(len(result))
         return result
 
     def report(self, x: float, y: float) -> List[float]:

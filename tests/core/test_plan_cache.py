@@ -93,6 +93,44 @@ class TestCacheMechanics:
         with pytest.raises(ValueError):
             QueryPlanCache(-1)
 
+    def test_registry_counters_mirror_instance_counters(self):
+        from repro import obs
+
+        saved = obs.ENABLED
+        obs.enable()
+        obs.reset()
+        try:
+            cache = QueryPlanCache(2)
+            cache.get("x")  # miss
+            cache.put("x", 1)
+            cache.get("x")  # hit
+            cache.put("y", 2)
+            cache.put("z", 3)  # evicts "x"
+            assert obs.value("plan_cache.hits") == cache.hits == 1
+            assert obs.value("plan_cache.misses") == cache.misses == 1
+            assert obs.value("plan_cache.evictions") == cache.evictions == 1
+        finally:
+            obs.reset()
+            (obs.enable if saved else obs.disable)()
+
+    def test_stats_shim_records_without_metrics(self):
+        from repro import obs
+
+        saved = obs.ENABLED
+        obs.disable()
+        try:
+            cache = QueryPlanCache(2)
+            cache.get("x")
+            cache.put("x", 1)
+            cache.get("x")
+            # The per-instance shim still tallies with the registry off...
+            assert cache.stats()["hits"] == 1
+            assert cache.stats()["misses"] == 1
+            # ...while the registry stays untouched.
+            assert obs.value("plan_cache.hits") == 0
+        finally:
+            (obs.enable if saved else obs.disable)()
+
 
 class TestCapacityResolution:
     def test_default(self, monkeypatch):
@@ -123,6 +161,13 @@ class TestCapacityResolution:
         monkeypatch.setenv(ENV_CAPACITY, "many")
         with pytest.raises(ValueError):
             resolve_capacity()
+
+    def test_negative_env_rejected_not_silent_zero(self, monkeypatch):
+        monkeypatch.setenv(ENV_CAPACITY, "-5")
+        with pytest.raises(ValueError):
+            resolve_capacity()
+        with pytest.raises(ValueError):
+            QueryPlanCache()
 
 
 @pytest.mark.parametrize("sampler_cls", SAMPLERS)

@@ -1,0 +1,35 @@
+"""Fixtures for the observability suite.
+
+Every test that flips the global enablement or mutates counters runs
+inside ``metrics_on``/``metrics_off``: the prior state is restored and
+the registry is reset on both sides, so tests never see each other's
+counts regardless of ``REPRO_METRICS`` in the environment.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def metrics_on():
+    saved = obs.ENABLED
+    obs.enable()
+    obs.reset()
+    try:
+        yield obs
+    finally:
+        obs.reset()
+        (obs.enable if saved else obs.disable)()
+
+
+@pytest.fixture
+def metrics_off():
+    saved = obs.ENABLED
+    obs.disable()
+    obs.reset()
+    try:
+        yield obs
+    finally:
+        obs.reset()
+        (obs.enable if saved else obs.disable)()

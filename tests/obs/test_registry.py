@@ -1,0 +1,187 @@
+"""Unit tests for the repro.obs registry, spans, and exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.export import to_json, to_prometheus, write_sidecar
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    DERIVED_RATIOS,
+    SPAN_BUFFER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_add(self):
+        c = Counter("x")
+        c.inc()
+        c.add(4)
+        assert c.value == 5
+
+    def test_negative_add_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.add(7)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_add(self):
+        g = Gauge("g")
+        g.set(2.5)
+        g.add(-1.0)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_observe_and_mean(self):
+        h = Histogram("h", buckets=[1, 2, 4])
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean() == pytest.approx((0.5 + 1.5 + 3.0 + 100.0) / 4)
+
+    def test_bucket_pairs_cumulative(self):
+        h = Histogram("h", buckets=[1, 2, 4])
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        pairs = h.bucket_pairs()
+        assert pairs[-1] == (float("inf"), 4)
+        counts = [c for _, c in pairs]
+        assert counts == sorted(counts)  # cumulative => nondecreasing
+
+    def test_default_buckets_are_powers_of_two(self):
+        assert DEFAULT_BUCKETS[0] == 1.0
+        assert all(b == 2 * a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+
+    def test_cross_type_name_collision_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(ValueError):
+            r.gauge("a")
+
+    def test_value_of_unknown_name_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0
+
+    def test_snapshot_shape(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.gauge("g").set(3)
+        r.histogram("h").observe(2)
+        snap = r.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 3.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert set(snap["derived"]) == {name for name, _, _ in DERIVED_RATIOS}
+        assert "spans" in snap
+
+    def test_derived_none_on_zero_denominator(self):
+        snap = MetricsRegistry().snapshot()
+        # Nothing exercised: every ratio present but undefined.
+        assert all(v is None for v in snap["derived"].values())
+
+    def test_reset_keeps_registrations(self):
+        r = MetricsRegistry()
+        r.counter("c").add(5)
+        r.reset()
+        assert r.names()["counters"] == ["c"]
+        assert r.value("c") == 0
+
+    def test_span_buffer_bounded(self):
+        r = MetricsRegistry()
+        for i in range(SPAN_BUFFER + 10):
+            r.record_span("q", float(i), {})
+        spans = r.recent_spans()
+        assert len(spans) == SPAN_BUFFER
+        assert spans[-1]["us"] == float(SPAN_BUFFER + 9)
+
+
+class TestEnablement:
+    def test_enable_disable_roundtrip(self, metrics_off):
+        assert not obs.enabled()
+        obs.enable()
+        assert obs.enabled()
+        obs.disable()
+        assert not obs.enabled()
+
+    def test_scope_restores_prior_state(self, metrics_off):
+        with obs.scope(True):
+            assert obs.ENABLED
+        assert not obs.ENABLED
+
+    def test_span_is_noop_when_disabled(self, metrics_off):
+        before = len(obs.REGISTRY.recent_spans())
+        with obs.span("unit.test") as sp:
+            sp.set(irrelevant=1)
+        assert len(obs.REGISTRY.recent_spans()) == before
+
+    def test_span_records_when_enabled(self, metrics_on):
+        with obs.span("unit.test", tag="t") as sp:
+            sp.set(extra=2)
+        spans = obs.REGISTRY.recent_spans()
+        assert spans[-1]["name"] == "unit.test"
+        assert spans[-1]["attrs"]["tag"] == "t"
+        assert spans[-1]["attrs"]["extra"] == 2
+        assert spans[-1]["us"] >= 0.0
+
+
+class TestExport:
+    def _snapshot(self):
+        r = MetricsRegistry()
+        r.counter("alias.draws").add(3)
+        r.gauge("pool.cursor").set(1.5)
+        r.histogram("span.q.us", buckets=[1, 8]).observe(4.0)
+        return r.snapshot()
+
+    def test_json_roundtrip(self):
+        text = to_json(self._snapshot())
+        back = json.loads(text)
+        assert back["counters"]["alias.draws"] == 3
+
+    def test_prometheus_names_and_values(self):
+        text = to_prometheus(self._snapshot())
+        assert "repro_alias_draws_total 3" in text
+        assert "repro_pool_cursor 1.5" in text
+        assert 'repro_span_q_us_bucket{le="+Inf"} 1' in text
+        assert "repro_span_q_us_count 1" in text
+
+    def test_prometheus_none_derived_is_nan(self):
+        text = to_prometheus(MetricsRegistry().snapshot())
+        line = next(
+            l
+            for l in text.splitlines()
+            if l.startswith("repro_derived_wor_rejections_per_draw ")
+        )
+        assert math.isnan(float(line.split()[-1]))
+
+    def test_write_sidecar(self, tmp_path):
+        path = tmp_path / "nested" / "metrics.json"
+        write_sidecar(str(path), self._snapshot(), extra={"experiment": "e1"})
+        data = json.loads(path.read_text())
+        assert data["meta"]["experiment"] == "e1"
+        assert data["metrics"]["counters"]["alias.draws"] == 3
+
+    def test_global_snapshot_carries_enabled_flag(self, metrics_on):
+        assert obs.snapshot()["enabled"] is True
