@@ -11,10 +11,8 @@
 import pytest
 
 from repro.apps.workloads import distinct_uniform_reals, overlapping_sets, zipf_weights
-from repro.core.range_sampler import ChunkedRangeSampler
-from repro.core.set_union import SetUnionSampler
-from repro.em.em_range_sampler import EMRangeSampler
 from repro.em.model import EMMachine
+from repro.engine import build
 
 N = 1 << 15
 
@@ -27,7 +25,9 @@ def keyset():
 @pytest.mark.parametrize("chunk_size", [2, 15, 120, 1000])
 def bench_chunk_size_ablation(benchmark, keyset, chunk_size):
     keys, weights = keyset
-    sampler = ChunkedRangeSampler(keys, weights, rng=3, chunk_size=chunk_size)
+    sampler = build(
+        "range.chunked", keys=keys, weights=weights, rng=3, chunk_size=chunk_size
+    )
     x, y = keys[N // 10], keys[9 * N // 10]
     benchmark.group = "ablation-chunk-size"
     benchmark(lambda: sampler.sample(x, y, 16))
@@ -36,8 +36,12 @@ def bench_chunk_size_ablation(benchmark, keyset, chunk_size):
 @pytest.mark.parametrize("pool_blocks", [1, 4, 16])
 def bench_em_pool_blocks_ablation(benchmark, pool_blocks):
     machine = EMMachine(block_size=64, memory_blocks=16)
-    sampler = EMRangeSampler(
-        machine, [float(i) for i in range(1 << 12)], rng=4, pool_blocks=pool_blocks
+    sampler = build(
+        "range.em",
+        machine=machine,
+        values=[float(i) for i in range(1 << 12)],
+        rng=4,
+        pool_blocks=pool_blocks,
     )
     sampler.query(0.0, float((1 << 12) - 1), 64)  # warm
     benchmark.group = "ablation-pool-blocks"
@@ -46,11 +50,10 @@ def bench_em_pool_blocks_ablation(benchmark, pool_blocks):
 
 @pytest.mark.parametrize("num_grids", [1, 2, 4])
 def bench_fair_nn_grids_ablation(benchmark, num_grids):
-    from repro.apps.fair_nn import FairNearNeighbor
     from repro.apps.workloads import clustered_points
 
     points = clustered_points(5_000, 2, clusters=8, spread=0.05, rng=5)
-    fair = FairNearNeighbor(points, radius=0.05, num_grids=num_grids, rng=6)
+    fair = build("fair_nn", points=points, radius=0.05, num_grids=num_grids, rng=6)
     benchmark.group = "ablation-fair-nn-grids"
     benchmark(lambda: fair.sample(points[0]))
 
@@ -58,7 +61,9 @@ def bench_fair_nn_grids_ablation(benchmark, num_grids):
 @pytest.mark.parametrize("sketch_k", [8, 64, 256])
 def bench_sketch_k_ablation(benchmark, sketch_k):
     family = overlapping_sets(10, 1000, 3000, rng=7)
-    sampler = SetUnionSampler(family, rng=8, sketch_k=sketch_k, rebuild_after=0)
+    sampler = build(
+        "setunion", family=family, rng=8, sketch_k=sketch_k, rebuild_after=0
+    )
     group = list(range(6))
     benchmark.group = "ablation-sketch-k"
     benchmark(lambda: sampler.sample(group))

@@ -4,22 +4,21 @@ import random
 
 import pytest
 
-from repro.core.alias import AliasSampler
-from repro.core.dynamic import BucketDynamicSampler, FenwickDynamicSampler
+from repro.engine import build
 
 N = 1 << 14
 
 
-def loaded(sampler_cls):
+def loaded(spec):
     rng = random.Random(1)
-    sampler = sampler_cls(rng=2)
+    sampler = build(spec, rng=2)
     handles = [sampler.insert(i, 1.0 + rng.random() * 100) for i in range(N)]
     return sampler, handles, rng
 
 
-@pytest.mark.parametrize("sampler_cls", [FenwickDynamicSampler, BucketDynamicSampler])
-def bench_update(benchmark, sampler_cls):
-    sampler, handles, rng = loaded(sampler_cls)
+@pytest.mark.parametrize("spec", ["dynamic.fenwick", "dynamic.bucket"])
+def bench_update(benchmark, spec):
+    sampler, handles, rng = loaded(spec)
 
     def update():
         sampler.update_weight(handles[rng.randrange(N)], 1.0 + rng.random() * 100)
@@ -28,16 +27,16 @@ def bench_update(benchmark, sampler_cls):
     benchmark(update)
 
 
-@pytest.mark.parametrize("sampler_cls", [FenwickDynamicSampler, BucketDynamicSampler])
-def bench_sample(benchmark, sampler_cls):
-    sampler, _, _ = loaded(sampler_cls)
+@pytest.mark.parametrize("spec", ["dynamic.fenwick", "dynamic.bucket"])
+def bench_sample(benchmark, spec):
+    sampler, _, _ = loaded(spec)
     benchmark.group = "e10-sample"
     benchmark(sampler.sample)
 
 
-@pytest.mark.parametrize("sampler_cls", [FenwickDynamicSampler, BucketDynamicSampler])
-def bench_insert_delete_cycle(benchmark, sampler_cls):
-    sampler, handles, rng = loaded(sampler_cls)
+@pytest.mark.parametrize("spec", ["dynamic.fenwick", "dynamic.bucket"])
+def bench_insert_delete_cycle(benchmark, spec):
+    sampler, handles, rng = loaded(spec)
 
     def cycle():
         handle = sampler.insert("temp", 5.0)
@@ -53,4 +52,4 @@ def bench_static_alias_rebuild(benchmark):
     weights = [1.0 + rng.random() * 100 for _ in range(N)]
     items = list(range(N))
     benchmark.group = "e10-update"
-    benchmark(lambda: AliasSampler(items, weights, rng=4))
+    benchmark(lambda: build("alias", items=items, weights=weights, rng=4))

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.apps.estimation import estimate_fraction, required_sample_size
-from repro.core.naive import NaiveRangeSampler
-from repro.core.range_sampler import ChunkedRangeSampler
+from repro.engine import build
 
 N = 100_000
 
@@ -16,7 +15,7 @@ def keys():
 
 @pytest.mark.parametrize("epsilon", [0.1, 0.05])
 def bench_estimate_iqs(benchmark, keys, epsilon):
-    sampler = ChunkedRangeSampler(keys, rng=1)
+    sampler = build("range.chunked", keys=keys, rng=1)
     benchmark.group = f"e11-eps{epsilon}"
     benchmark(
         lambda: estimate_fraction(
@@ -30,7 +29,7 @@ def bench_estimate_iqs(benchmark, keys, epsilon):
 
 @pytest.mark.parametrize("epsilon", [0.1, 0.05])
 def bench_estimate_naive(benchmark, keys, epsilon):
-    sampler = NaiveRangeSampler(keys, rng=2)
+    sampler = build("range.naive", keys=keys, rng=2)
     benchmark.group = f"e11-eps{epsilon}"
     benchmark(
         lambda: estimate_fraction(

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.apps.fair_nn import FairNearNeighbor
 from repro.apps.workloads import clustered_points
+from repro.engine import build
 
 N = 20_000
 RADIUS = 0.05
@@ -12,7 +12,7 @@ RADIUS = 0.05
 @pytest.fixture(scope="module")
 def fair():
     points = clustered_points(N, 2, clusters=10, spread=0.05, rng=1)
-    index = FairNearNeighbor(points, radius=RADIUS, num_grids=2, rng=2)
+    index = build("fair_nn", points=points, radius=RADIUS, num_grids=2, rng=2)
     return index, points[0]
 
 

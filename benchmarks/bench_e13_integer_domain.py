@@ -4,8 +4,7 @@ import random
 
 import pytest
 
-from repro.core.integer_range import IntegerRangeSampler
-from repro.core.range_sampler import ChunkedRangeSampler
+from repro.engine import build
 
 N = 1 << 15
 UNIVERSE_BITS = 30
@@ -17,28 +16,28 @@ def keys():
 
 
 def bench_yfast_span(benchmark, keys):
-    sampler = IntegerRangeSampler(keys, rng=2, universe_bits=UNIVERSE_BITS)
+    sampler = build("range.integer", keys=keys, rng=2, universe_bits=UNIVERSE_BITS)
     x, y = keys[N // 5], keys[4 * N // 5]
     benchmark.group = "e13-span"
     benchmark(lambda: sampler.span_of(x, y))
 
 
 def bench_bisect_span(benchmark, keys):
-    sampler = ChunkedRangeSampler([float(k) for k in keys], rng=3)
+    sampler = build("range.chunked", keys=[float(k) for k in keys], rng=3)
     x, y = float(keys[N // 5]), float(keys[4 * N // 5])
     benchmark.group = "e13-span"
     benchmark(lambda: sampler.span_of(x, y))
 
 
 def bench_integer_query(benchmark, keys):
-    sampler = IntegerRangeSampler(keys, rng=4, universe_bits=UNIVERSE_BITS)
+    sampler = build("range.integer", keys=keys, rng=4, universe_bits=UNIVERSE_BITS)
     x, y = keys[N // 5], keys[4 * N // 5]
     benchmark.group = "e13-query"
     benchmark(lambda: sampler.sample(x, y, 4))
 
 
 def bench_float_query(benchmark, keys):
-    sampler = ChunkedRangeSampler([float(k) for k in keys], rng=5)
+    sampler = build("range.chunked", keys=[float(k) for k in keys], rng=5)
     x, y = float(keys[N // 5]), float(keys[4 * N // 5])
     benchmark.group = "e13-query"
     benchmark(lambda: sampler.sample(x, y, 4))

@@ -1,21 +1,22 @@
 """E14 — plain vs de-amortized EM sample pool (wall-clock side)."""
 
-from repro.em.deamortized import DeamortizedSamplePoolSetSampler
 from repro.em.model import EMMachine
-from repro.em.sample_pool import SamplePoolSetSampler
+from repro.engine import build
 
 N, B, S = 1 << 11, 16, 32
 
 
 def bench_plain_pool(benchmark):
     machine = EMMachine(block_size=B, memory_blocks=8)
-    sampler = SamplePoolSetSampler(machine, list(range(N)), rng=1)
+    sampler = build("em.setpool", machine=machine, values=list(range(N)), rng=1)
     benchmark.group = "e14-pool"
     benchmark(lambda: sampler.query(S))
 
 
 def bench_deamortized_pool(benchmark):
     machine = EMMachine(block_size=B, memory_blocks=8)
-    sampler = DeamortizedSamplePoolSetSampler(machine, list(range(N)), rng=2)
+    sampler = build(
+        "em.setpool.deamortized", machine=machine, values=list(range(N)), rng=2
+    )
     benchmark.group = "e14-pool"
     benchmark(lambda: sampler.query(S))

@@ -5,8 +5,7 @@ import random
 
 import pytest
 
-from repro.core.approximate import ApproximateDynamicSampler
-from repro.core.dynamic import FenwickDynamicSampler
+from repro.engine import build
 
 N = 1 << 14
 
@@ -18,7 +17,7 @@ def loaded_weights():
 
 @pytest.mark.parametrize("epsilon", [0.01, 0.3])
 def bench_approx_sample(benchmark, epsilon):
-    sampler = ApproximateDynamicSampler(epsilon=epsilon, rng=2)
+    sampler = build("dynamic.approx", epsilon=epsilon, rng=2)
     for index, weight in enumerate(loaded_weights()):
         sampler.insert(index, weight)
     benchmark.group = "e15-sample"
@@ -26,7 +25,7 @@ def bench_approx_sample(benchmark, epsilon):
 
 
 def bench_exact_sample(benchmark):
-    sampler = FenwickDynamicSampler(rng=3, initial_capacity=N)
+    sampler = build("dynamic.fenwick", rng=3, initial_capacity=N)
     for index, weight in enumerate(loaded_weights()):
         sampler.insert(index, weight)
     benchmark.group = "e15-sample"
@@ -36,7 +35,7 @@ def bench_exact_sample(benchmark):
 @pytest.mark.parametrize("epsilon", [0.1])
 def bench_approx_update(benchmark, epsilon):
     rng = random.Random(4)
-    sampler = ApproximateDynamicSampler(epsilon=epsilon, rng=5)
+    sampler = build("dynamic.approx", epsilon=epsilon, rng=5)
     handles = [sampler.insert(i, w) for i, w in enumerate(loaded_weights())]
 
     def update():
@@ -53,7 +52,7 @@ def bench_approx_update(benchmark, epsilon):
 
 def bench_exact_update(benchmark):
     rng = random.Random(6)
-    sampler = FenwickDynamicSampler(rng=7, initial_capacity=N)
+    sampler = build("dynamic.fenwick", rng=7, initial_capacity=N)
     handles = [sampler.insert(i, w) for i, w in enumerate(loaded_weights())]
 
     def update():

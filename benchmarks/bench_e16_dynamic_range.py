@@ -4,8 +4,7 @@ import random
 
 import pytest
 
-from repro.core.dynamic_range import DynamicRangeSampler
-from repro.core.range_sampler import ChunkedRangeSampler
+from repro.engine import build
 
 N = 1 << 14
 S = 16
@@ -21,7 +20,7 @@ def dataset():
 
 def bench_treap_insert_delete(benchmark, dataset):
     keys, weights = dataset
-    sampler = DynamicRangeSampler(rng=2)
+    sampler = build("range.dynamic", rng=2)
     for key, weight in zip(keys, weights):
         sampler.insert(float(key), weight)
     spare = iter(range(10 * N, 100 * N))
@@ -39,12 +38,12 @@ def bench_static_rebuild_as_update(benchmark, dataset):
     keys, weights = dataset
     float_keys = [float(k) for k in keys]
     benchmark.group = "e16-update"
-    benchmark(lambda: ChunkedRangeSampler(float_keys, weights))
+    benchmark(lambda: build("range.chunked", keys=float_keys, weights=weights))
 
 
 def bench_treap_query(benchmark, dataset):
     keys, weights = dataset
-    sampler = DynamicRangeSampler(rng=3)
+    sampler = build("range.dynamic", rng=3)
     for key, weight in zip(keys, weights):
         sampler.insert(float(key), weight)
     x, y = float(keys[N // 10]), float(keys[9 * N // 10])
@@ -54,7 +53,9 @@ def bench_treap_query(benchmark, dataset):
 
 def bench_static_query(benchmark, dataset):
     keys, weights = dataset
-    sampler = ChunkedRangeSampler([float(k) for k in keys], weights, rng=4)
+    sampler = build(
+        "range.chunked", keys=[float(k) for k in keys], weights=weights, rng=4
+    )
     x, y = float(keys[N // 10]), float(keys[9 * N // 10])
     benchmark.group = "e16-query"
     benchmark(lambda: sampler.sample(x, y, S))

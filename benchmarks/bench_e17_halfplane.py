@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core.coverage import CoverageSampler
+from repro.engine import build
 from repro.substrates.halfplane import HalfplaneIndex
 
 N = 8_000
@@ -19,7 +19,7 @@ def index():
 
 
 def bench_halfplane_iqs(benchmark, index):
-    sampler = CoverageSampler(index, rng=2)
+    sampler = build("coverage", index=index, rng=2)
     benchmark.group = "e17-halfplane"
     benchmark(lambda: sampler.sample(QUERY, 16))
 

@@ -16,12 +16,7 @@ import os
 import pytest
 
 from repro.apps.workloads import zipf_weights
-from repro.core.alias import AliasSampler
-from repro.core.range_sampler import (
-    AliasAugmentedRangeSampler,
-    ChunkedRangeSampler,
-    TreeWalkRangeSampler,
-)
+from repro.engine import build
 from repro.substrates.bst import StaticBST
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
@@ -32,11 +27,17 @@ QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 SIZES = [1 << 12, 1 << 14] if QUICK else [1 << 14, 1 << 17]
 
 BUILDERS = {
-    "alias": lambda keys, weights: AliasSampler(keys, weights, rng=2),
+    "alias": lambda keys, weights: build("alias", items=keys, weights=weights, rng=2),
     "bst": lambda keys, weights: StaticBST(keys, weights),
-    "treewalk": lambda keys, weights: TreeWalkRangeSampler(keys, weights, rng=2),
-    "lemma2": lambda keys, weights: AliasAugmentedRangeSampler(keys, weights, rng=2),
-    "theorem3": lambda keys, weights: ChunkedRangeSampler(keys, weights, rng=2),
+    "treewalk": lambda keys, weights: build(
+        "range.treewalk", keys=keys, weights=weights, rng=2
+    ),
+    "lemma2": lambda keys, weights: build(
+        "range.lemma2", keys=keys, weights=weights, rng=2
+    ),
+    "theorem3": lambda keys, weights: build(
+        "range.chunked", keys=keys, weights=weights, rng=2
+    ),
 }
 
 

@@ -7,7 +7,7 @@ that flatness *is* the O(1) claim.
 import pytest
 
 from repro.apps.workloads import zipf_weights
-from repro.core.alias import AliasSampler
+from repro.engine import build
 
 SIZES = [1 << 10, 1 << 14, 1 << 18]
 
@@ -17,12 +17,12 @@ def bench_build(benchmark, n):
     weights = zipf_weights(n, rng=1)
     items = list(range(n))
     benchmark.group = "e1-build"
-    benchmark(lambda: AliasSampler(items, weights, rng=2))
+    benchmark(lambda: build("alias", items=items, weights=weights, rng=2))
 
 
 @pytest.mark.parametrize("n", SIZES)
 def bench_sample_1000(benchmark, n):
-    sampler = AliasSampler(list(range(n)), zipf_weights(n, rng=1), rng=3)
+    sampler = build("alias", items=list(range(n)), weights=zipf_weights(n, rng=1), rng=3)
     benchmark.group = "e1-sample-1000"
     benchmark(lambda: sampler.sample_many(1000))
 
@@ -30,7 +30,7 @@ def bench_sample_1000(benchmark, n):
 @pytest.mark.parametrize("n", SIZES)
 def bench_sample_many_scalar_vs_batch(benchmark, batch_mode, n):
     """Scalar-vs-batch comparison column: s = 10⁴ draws per call."""
-    sampler = AliasSampler(list(range(n)), zipf_weights(n, rng=1), rng=3)
+    sampler = build("alias", items=list(range(n)), weights=zipf_weights(n, rng=1), rng=3)
     sampler.sample_many(10_000)  # warm lazy kernel caches
     benchmark.group = f"e1-batch-vs-scalar-n{n}"
     benchmark.extra_info["mode"] = batch_mode
@@ -44,4 +44,4 @@ def bench_build_scalar_vs_batch(benchmark, batch_mode, n):
     items = list(range(n))
     benchmark.group = f"e1-build-batch-vs-scalar-n{n}"
     benchmark.extra_info["mode"] = batch_mode
-    benchmark(lambda: AliasSampler(items, weights, rng=2))
+    benchmark(lambda: build("alias", items=items, weights=weights, rng=2))

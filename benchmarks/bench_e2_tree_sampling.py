@@ -6,7 +6,7 @@ gap widens with s.
 
 import pytest
 
-from repro.core.tree_sampling import FlatTreeSampler, TreeSampler
+from repro.engine import build
 from repro.experiments.e02_tree_sampling import random_tree
 
 LEAVES = 20_000
@@ -19,13 +19,13 @@ def tree():
 
 @pytest.mark.parametrize("s", [1, 64, 1024])
 def bench_tree_walk(benchmark, tree, s):
-    sampler = TreeSampler(tree, rng=1)
+    sampler = build("tree.topdown", tree=tree, rng=1)
     benchmark.group = f"e2-s{s}"
     benchmark(lambda: sampler.sample_many(tree.root, s))
 
 
 @pytest.mark.parametrize("s", [1, 64, 1024])
 def bench_flat(benchmark, tree, s):
-    sampler = FlatTreeSampler(tree, rng=2)
+    sampler = build("tree.flat", tree=tree, rng=2)
     benchmark.group = f"e2-s{s}"
     benchmark(lambda: sampler.sample_many(tree.root, s))

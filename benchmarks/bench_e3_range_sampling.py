@@ -8,12 +8,7 @@ from repro.apps.workloads import (
     interval_with_selectivity,
     zipf_weights,
 )
-from repro.core.naive import NaiveRangeSampler
-from repro.core.range_sampler import (
-    AliasAugmentedRangeSampler,
-    ChunkedRangeSampler,
-    TreeWalkRangeSampler,
-)
+from repro.engine import build
 
 N = 100_000
 S = 16
@@ -32,10 +27,10 @@ def dataset():
 
 
 SAMPLERS = {
-    "naive": NaiveRangeSampler,
-    "treewalk": TreeWalkRangeSampler,
-    "lemma2": AliasAugmentedRangeSampler,
-    "theorem3": ChunkedRangeSampler,
+    "naive": "range.naive",
+    "treewalk": "range.treewalk",
+    "lemma2": "range.lemma2",
+    "theorem3": "range.chunked",
 }
 
 
@@ -43,7 +38,7 @@ SAMPLERS = {
 @pytest.mark.parametrize("name", list(SAMPLERS))
 def bench_range_query(benchmark, dataset, name, selectivity):
     keys, weights, queries = dataset
-    sampler = SAMPLERS[name](keys, weights, rng=4)
+    sampler = build(SAMPLERS[name], keys=keys, weights=weights, rng=4)
     x, y = queries[selectivity]
     benchmark.group = f"e3-selectivity-{selectivity}"
     benchmark(lambda: sampler.sample(x, y, S))
@@ -52,7 +47,7 @@ def bench_range_query(benchmark, dataset, name, selectivity):
 @pytest.mark.parametrize("s", [1, 64, 1024])
 def bench_theorem3_sample_size_sweep(benchmark, dataset, s):
     keys, weights, queries = dataset
-    sampler = ChunkedRangeSampler(keys, weights, rng=5)
+    sampler = build("range.chunked", keys=keys, weights=weights, rng=5)
     x, y = queries[0.1]
     benchmark.group = "e3-s-sweep"
     benchmark(lambda: sampler.sample(x, y, s))
@@ -62,7 +57,7 @@ def bench_theorem3_sample_size_sweep(benchmark, dataset, s):
 def bench_range_scalar_vs_batch(benchmark, dataset, batch_mode, name):
     """Scalar-vs-batch comparison column: s = 10⁴ draws at selectivity 0.5."""
     keys, weights, queries = dataset
-    sampler = SAMPLERS[name](keys, weights, rng=6)
+    sampler = build(SAMPLERS[name], keys=keys, weights=weights, rng=6)
     x, y = queries[0.5]
     sampler.sample(x, y, 10_000)  # warm lazy kernel caches
     benchmark.group = f"e3-batch-vs-scalar-{name}"
@@ -78,7 +73,7 @@ def bench_build_scalar_vs_batch(benchmark, dataset, batch_mode, name):
     keys, weights, _ = dataset
     benchmark.group = f"e3-build-batch-vs-scalar-{name}"
     benchmark.extra_info["mode"] = batch_mode
-    benchmark(lambda: SAMPLERS[name](keys, weights, rng=7))
+    benchmark(lambda: build(SAMPLERS[name], keys=keys, weights=weights, rng=7))
 
 
 @pytest.mark.parametrize("cache", ["cold", "warm"])
@@ -92,7 +87,9 @@ def bench_repeated_range_plan_cache(benchmark, dataset, name, cache):
     keys, weights, queries = dataset
     x, y = queries[0.1]
     cache_size = 0 if cache == "cold" else None
-    sampler = SAMPLERS[name](keys, weights, rng=8, plan_cache_size=cache_size)
+    sampler = build(
+        SAMPLERS[name], keys=keys, weights=weights, rng=8, plan_cache_size=cache_size
+    )
     sampler.sample(x, y, 4)  # prime the plan (a no-op when disabled)
     benchmark.group = f"e3-plan-cache-{name}"
     benchmark.extra_info["mode"] = cache

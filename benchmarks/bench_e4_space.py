@@ -3,7 +3,7 @@ take proportionally longer to materialise than Theorem 3's O(n))."""
 
 import pytest
 
-from repro.core.range_sampler import AliasAugmentedRangeSampler, ChunkedRangeSampler
+from repro.engine import build
 
 SIZES = [1 << 12, 1 << 15]
 
@@ -12,28 +12,28 @@ SIZES = [1 << 12, 1 << 15]
 def bench_build_lemma2(benchmark, n):
     keys = [float(i) for i in range(n)]
     benchmark.group = f"e4-build-n{n}"
-    benchmark(lambda: AliasAugmentedRangeSampler(keys))
+    benchmark(lambda: build("range.lemma2", keys=keys))
 
 
 @pytest.mark.parametrize("n", SIZES)
 def bench_build_theorem3(benchmark, n):
     keys = [float(i) for i in range(n)]
     benchmark.group = f"e4-build-n{n}"
-    benchmark(lambda: ChunkedRangeSampler(keys))
+    benchmark(lambda: build("range.chunked", keys=keys))
 
 
 def test_space_ratio_matches_log_factor():
     """Non-timing assertion recorded alongside the build benches."""
     n_small, n_big = 1 << 12, 1 << 16
-    lemma2_growth = AliasAugmentedRangeSampler(
-        [float(i) for i in range(n_big)]
-    ).space_words() / (n_big) - AliasAugmentedRangeSampler(
-        [float(i) for i in range(n_small)]
+    lemma2_growth = build(
+        "range.lemma2", keys=[float(i) for i in range(n_big)]
+    ).space_words() / (n_big) - build(
+        "range.lemma2", keys=[float(i) for i in range(n_small)]
     ).space_words() / (n_small)
-    theorem3_growth = ChunkedRangeSampler(
-        [float(i) for i in range(n_big)]
-    ).space_words() / (n_big) - ChunkedRangeSampler(
-        [float(i) for i in range(n_small)]
+    theorem3_growth = build(
+        "range.chunked", keys=[float(i) for i in range(n_big)]
+    ).space_words() / (n_big) - build(
+        "range.chunked", keys=[float(i) for i in range(n_small)]
     ).space_words() / (n_small)
     assert lemma2_growth > 2.0  # ~4 extra words/element per 4 doublings
     assert abs(theorem3_growth) < 1.0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.workloads import uniform_points, zipf_weights
-from repro.core.coverage import CoverageSampler
+from repro.engine import build
 from repro.substrates.kdtree import KDTree
 from repro.substrates.quadtree import QuadTree
 
@@ -21,14 +21,14 @@ def spatial():
 
 def bench_kdtree_iqs_query(benchmark, spatial):
     points, weights = spatial
-    sampler = CoverageSampler(KDTree(points, weights, leaf_size=8), rng=3)
+    sampler = build("coverage", index=KDTree(points, weights, leaf_size=8), rng=3)
     benchmark.group = "e5-query"
     benchmark(lambda: sampler.sample(RECT, S))
 
 
 def bench_quadtree_iqs_query(benchmark, spatial):
     points, weights = spatial
-    sampler = CoverageSampler(QuadTree(points, weights, leaf_size=8), rng=4)
+    sampler = build("coverage", index=QuadTree(points, weights, leaf_size=8), rng=4)
     benchmark.group = "e5-query"
     benchmark(lambda: sampler.sample(RECT, S))
 
@@ -43,15 +43,17 @@ def bench_kdtree_full_report(benchmark, spatial):
 def bench_kdtree_alias_backend(benchmark, spatial):
     """Ablation: Lemma-2 style per-node alias tables instead of Theorem 3."""
     points, weights = spatial
-    sampler = CoverageSampler(KDTree(points, weights, leaf_size=8), backend="alias", rng=5)
+    sampler = build(
+        "coverage", index=KDTree(points, weights, leaf_size=8), backend="alias", rng=5
+    )
     benchmark.group = "e5-backend-ablation"
     benchmark(lambda: sampler.sample(RECT, S))
 
 
 def bench_kdtree_chunked_backend(benchmark, spatial):
     points, weights = spatial
-    sampler = CoverageSampler(
-        KDTree(points, weights, leaf_size=8), backend="chunked", rng=6
+    sampler = build(
+        "coverage", index=KDTree(points, weights, leaf_size=8), backend="chunked", rng=6
     )
     benchmark.group = "e5-backend-ablation"
     benchmark(lambda: sampler.sample(RECT, S))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.workloads import uniform_points, zipf_weights
-from repro.core.coverage import CoverageSampler
+from repro.engine import build
 from repro.substrates.kdtree import KDTree
 from repro.substrates.rangetree import RangeTree
 
@@ -33,21 +33,21 @@ def bench_kdtree_build(benchmark, spatial):
 
 def bench_rangetree_query(benchmark, spatial):
     points, weights = spatial
-    sampler = CoverageSampler(RangeTree(points, weights), rng=3)
+    sampler = build("coverage", index=RangeTree(points, weights), rng=3)
     benchmark.group = "e6-query"
     benchmark(lambda: sampler.sample(RECT, S))
 
 
 def bench_kdtree_query(benchmark, spatial):
     points, weights = spatial
-    sampler = CoverageSampler(KDTree(points, weights, leaf_size=8), rng=4)
+    sampler = build("coverage", index=KDTree(points, weights, leaf_size=8), rng=4)
     benchmark.group = "e6-query"
     benchmark(lambda: sampler.sample(RECT, S))
 
 
 def bench_rangetree_3d_query(benchmark):
     points = uniform_points(1 << 10, 3, rng=5)
-    sampler = CoverageSampler(RangeTree(points), rng=6)
+    sampler = build("coverage", index=RangeTree(points), rng=6)
     rect = [(0.2, 0.8)] * 3
     benchmark.group = "e6-3d"
     benchmark(lambda: sampler.sample(rect, S))

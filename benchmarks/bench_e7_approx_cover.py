@@ -2,12 +2,9 @@
 
 import pytest
 
-from repro.core.approx_coverage import (
-    ApproxCoverSampler,
-    ComplementRangeIndex,
-    PrecomputedCoverSampler,
-)
-from repro.core.coverage import BSTIndex, CoverageSampler
+from repro.core.approx_coverage import ComplementRangeIndex
+from repro.core.coverage import BSTIndex
+from repro.engine import build
 
 N = 1 << 15
 S = 16
@@ -20,13 +17,13 @@ def index():
 
 
 def bench_theorem6_on_the_fly(benchmark, index):
-    sampler = ApproxCoverSampler(index, rng=1)
+    sampler = build("complement.approx", index=index, rng=1)
     benchmark.group = "e7-complement"
     benchmark(lambda: sampler.sample(QUERY, S))
 
 
 def bench_corollary7_precomputed(benchmark, index):
-    sampler = PrecomputedCoverSampler(index, rng=2)
+    sampler = build("complement.precomputed", index=index, rng=2)
     benchmark.group = "e7-complement"
     benchmark(lambda: sampler.sample(QUERY, S))
 
@@ -35,7 +32,7 @@ def bench_exact_cover_two_queries(benchmark):
     """Baseline: answering the complement as two exact-cover range queries
     (Theorem 5 twice) — pays two Θ(log n) covers instead of one ≤2 cover."""
     keys = [float(i) for i in range(N)]
-    sampler = CoverageSampler(BSTIndex(keys), rng=3)
+    sampler = build("coverage", index=BSTIndex(keys), rng=3)
     x, y = QUERY
 
     def complement_via_two_ranges():

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.apps.workloads import overlapping_sets
-from repro.core.naive import NaiveSetUnionSampler
-from repro.core.set_union import SetUnionSampler
+from repro.engine import build
 
 SET_SIZES = [500, 4000]
 G = 6
@@ -18,7 +17,7 @@ def family(request):
 
 def bench_theorem8(benchmark, family):
     set_size, sets = family
-    sampler = SetUnionSampler(sets, rng=2, rebuild_after=0)
+    sampler = build("setunion", family=sets, rng=2, rebuild_after=0)
     group = list(range(G))
     benchmark.group = f"e8-size{set_size}"
     benchmark(lambda: sampler.sample(group))
@@ -26,7 +25,7 @@ def bench_theorem8(benchmark, family):
 
 def bench_naive_union(benchmark, family):
     set_size, sets = family
-    sampler = NaiveSetUnionSampler(sets, rng=3)
+    sampler = build("setunion.naive", family=sets, rng=3)
     group = list(range(G))
     benchmark.group = f"e8-size{set_size}"
     benchmark(lambda: sampler.sample(group))
@@ -35,7 +34,7 @@ def bench_naive_union(benchmark, family):
 def bench_estimate_only(benchmark, family):
     """Ablation: the sketch-merge Û_G estimation step in isolation."""
     set_size, sets = family
-    sampler = SetUnionSampler(sets, rng=4)
+    sampler = build("setunion", family=sets, rng=4)
     group = list(range(G))
     benchmark.group = f"e8-estimate-size{set_size}"
     benchmark(lambda: sampler.union_size_estimate(group))

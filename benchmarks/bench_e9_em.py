@@ -5,13 +5,10 @@ e9``; these benches time the simulator-level operations so regressions in
 the EM code paths are visible too.
 """
 
-import pytest
-
 from repro.em.array import ExternalArray
-from repro.em.em_range_sampler import EMRangeSampler
 from repro.em.model import EMMachine
-from repro.em.sample_pool import NaiveEMSetSampler, SamplePoolSetSampler
 from repro.em.sorting import external_merge_sort
+from repro.engine import build
 
 N = 1 << 13
 B = 64
@@ -30,21 +27,23 @@ def bench_external_sort(benchmark):
 
 def bench_pool_queries(benchmark):
     machine = EMMachine(block_size=B, memory_blocks=16)
-    sampler = SamplePoolSetSampler(machine, list(range(N)), rng=1)
+    sampler = build("em.setpool", machine=machine, values=list(range(N)), rng=1)
     benchmark.group = "e9-set-sampling"
     benchmark(lambda: sampler.query(S))
 
 
 def bench_naive_queries(benchmark):
     machine = EMMachine(block_size=B, memory_blocks=16)
-    sampler = NaiveEMSetSampler(machine, list(range(N)), rng=2)
+    sampler = build("em.naive", machine=machine, values=list(range(N)), rng=2)
     benchmark.group = "e9-set-sampling"
     benchmark(lambda: sampler.query(S))
 
 
 def bench_em_range_query(benchmark):
     machine = EMMachine(block_size=B, memory_blocks=16)
-    sampler = EMRangeSampler(machine, [float(i) for i in range(N)], rng=3)
+    sampler = build(
+        "range.em", machine=machine, values=[float(i) for i in range(N)], rng=3
+    )
     sampler.query(0.0, float(N - 1), S)  # warm the pools
     benchmark.group = "e9-range"
     benchmark(lambda: sampler.query(float(N // 4), float(3 * N // 4), S))
@@ -52,6 +51,8 @@ def bench_em_range_query(benchmark):
 
 def bench_em_range_naive(benchmark):
     machine = EMMachine(block_size=B, memory_blocks=16)
-    sampler = EMRangeSampler(machine, [float(i) for i in range(N)], rng=4)
+    sampler = build(
+        "range.em", machine=machine, values=[float(i) for i in range(N)], rng=4
+    )
     benchmark.group = "e9-range"
     benchmark(lambda: sampler.naive_query(float(N // 4), float(3 * N // 4), S))

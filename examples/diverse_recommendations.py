@@ -10,15 +10,18 @@ dependent sampler never does.
 Run: python examples/diverse_recommendations.py
 """
 
+import os
 import random
 
 from repro import ChunkedRangeSampler, DependentRangeSampler
 from repro.apps.diversity import coverage_over_time
 
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
 
 def main() -> None:
     rng = random.Random(5)
-    n = 5_000
+    n = 1_000 if QUICK else 5_000
     # Restaurant "prices" as the indexed key; popularity as the weight.
     prices = sorted(rng.uniform(5, 200) for _ in range(n))
     popularity = [1.0 + rng.paretovariate(1.5) for _ in range(n)]

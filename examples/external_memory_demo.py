@@ -9,12 +9,16 @@ the B-tree range sampler — against Hu et al.'s lower bound.
 Run: python examples/external_memory_demo.py
 """
 
+import os
+
 from repro import EMMachine, EMRangeSampler, NaiveEMSetSampler, SamplePoolSetSampler
 from repro.em.lower_bound import set_sampling_lower_bound
 
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
 
 def main() -> None:
-    n, B, memory_blocks, s = 1 << 14, 64, 16, 256
+    n, B, memory_blocks, s = (1 << 11 if QUICK else 1 << 14), 64, 16, 256
     print(f"Simulated disk: n = {n:,} values, B = {B} words/block, "
           f"M = {memory_blocks * B} words of memory; queries draw s = {s} samples.\n")
 

@@ -11,14 +11,17 @@ Run: python examples/fair_near_neighbor.py
 """
 
 import collections
+import os
 import time
 
 from repro import FairNearNeighbor
 from repro.apps.workloads import clustered_points
 
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
 
 def main() -> None:
-    n = 30_000
+    n = 4_000 if QUICK else 30_000
     radius = 0.04
     print(f"Placing {n:,} drivers across 12 city hot-spots ...")
     drivers = clustered_points(n, 2, clusters=12, spread=0.05, rng=21)

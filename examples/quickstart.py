@@ -8,14 +8,19 @@ the report-then-sample baseline and the §2 dependent sampler.
 Run: python examples/quickstart.py
 """
 
+import os
 import time
 
 from repro import ChunkedRangeSampler, DependentRangeSampler, NaiveRangeSampler
 from repro.apps.workloads import distinct_uniform_reals, zipf_weights
 
+#: Smoke-test hook: REPRO_EXAMPLE_QUICK=1 shrinks every example to run in
+#: a couple of seconds while exercising the same code paths.
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
 
 def main() -> None:
-    n = 200_000
+    n = 5_000 if QUICK else 200_000
     print(f"Building indexes over {n:,} weighted keys ...")
     keys = distinct_uniform_reals(n, lo=0.0, hi=1e6, rng=7)
     weights = zipf_weights(n, alpha=0.8, rng=8)  # skewed row weights

@@ -13,6 +13,7 @@ is all-or-nothing.
 Run: python examples/selectivity_estimation.py
 """
 
+import os
 import random
 import statistics
 
@@ -23,16 +24,18 @@ from repro.apps.estimation import (
     required_sample_size,
 )
 
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
 
 def main() -> None:
-    n = 100_000
+    n = 10_000 if QUICK else 100_000
     rng = random.Random(11)
     # Attribute A: the sorted key; attribute B: correlated noise.
     table = {float(a): (a / n + rng.gauss(0, 0.2)) for a in range(n)}
     keys = sorted(table)
 
     sampler = ChunkedRangeSampler(keys, rng=1)
-    x, y = 20_000.0, 80_000.0
+    x, y = 0.2 * n, 0.8 * n
     predicate = lambda key: table[key] > 0.5  # noqa: E731
 
     truth = sum(1 for key in keys if x <= key <= y and predicate(key)) / sum(
@@ -51,17 +54,19 @@ def main() -> None:
             f"instead of ~60,000 scanned rows"
         )
 
-    print("\nLong-run failure concentration (m = 120 estimates, ε = 0.08):")
+    repetitions = 30 if QUICK else 120
+    trials = 3 if QUICK else 10
+    print(f"\nLong-run failure concentration (m = {repetitions} estimates, ε = 0.08):")
     spec = dict(
-        predicate=lambda key: key < 50_000.0,
+        predicate=lambda key: key < 0.5 * n,
         true_fraction=0.5,
         epsilon=0.08,
-        repetitions=120,
+        repetitions=repetitions,
         samples_per_estimate=64,
     )
     iqs_runs = []
     dependent_runs = []
-    for trial in range(10):
+    for trial in range(trials):
         iqs = ChunkedRangeSampler(keys, rng=100 + trial)
         iqs_runs.append(
             sum(failure_indicators(lambda t: iqs.sample(0.0, n - 1.0, t), **spec))
@@ -76,7 +81,10 @@ def main() -> None:
         )
     print(f"  IQS        failures per run: {iqs_runs}  (stdev {statistics.pstdev(iqs_runs):.1f})")
     print(f"  dependent  failures per run: {dependent_runs}  (stdev {statistics.pstdev(dependent_runs):.1f})")
-    print("  -> dependent runs are 0 or 120: one frozen estimate repeated m times.")
+    print(
+        f"  -> dependent runs are 0 or {repetitions}: "
+        "one frozen estimate repeated m times."
+    )
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ complement ("everything except downtown") queries.
 Run: python examples/spatial_sampling.py
 """
 
+import os
 import time
 
 from repro import (
@@ -23,9 +24,11 @@ from repro import (
 )
 from repro.apps.workloads import clustered_points
 
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
 
 def main() -> None:
-    n = 20_000
+    n = 3_000 if QUICK else 20_000
     print(f"Indexing {n:,} clustered GPS points three ways ...")
     points = clustered_points(n, 2, clusters=8, spread=0.04, rng=31)
     rect = [(0.3, 0.7), (0.3, 0.7)]

@@ -9,15 +9,18 @@ scanning, and with independent results on every refresh.
 Run: python examples/table_analytics.py
 """
 
+import os
 import random
 import time
 
 from repro import SampledTable
 
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+
 
 def main() -> None:
     rng = random.Random(99)
-    n = 300_000
+    n = 20_000 if QUICK else 300_000
     print(f"Generating {n:,} synthetic orders ...")
     regions = ["NA", "EU", "APAC", "LATAM"]
     orders = [

@@ -82,11 +82,30 @@ from repro.substrates import (
     StaticBST,
 )
 
+# The engine imports last: it references the sampler classes above through
+# its lazy registry, so keeping it at the tail of the package init means
+# any partial-import state it could observe is already complete.
+from repro.engine import (
+    QueryRequest,
+    QueryResult,
+    REGISTRY,
+    Sampler,
+    SamplingEngine,
+    build,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
     # observability
     "obs",
+    # engine (unified construction + batched execution)
+    "QueryRequest",
+    "QueryResult",
+    "REGISTRY",
+    "Sampler",
+    "SamplingEngine",
+    "build",
     # core techniques
     "AliasSampler",
     "ApproximateDynamicSampler",

@@ -1,8 +1,11 @@
-"""``python -m repro`` — package info, pointers, and the obs dump.
+"""``python -m repro`` — package info, the engine CLI, and the obs dump.
 
 ``python -m repro`` prints a map of entry points; ``python -m repro obs``
 exercises a small representative workload with metrics enabled and dumps
-the resulting :mod:`repro.obs` snapshot (table, JSON, or Prometheus text).
+the resulting :mod:`repro.obs` snapshot (table, JSON, or Prometheus text);
+``python -m repro engine list`` prints the sampler registry and
+``python -m repro engine run SPEC`` batch-executes a synthesized workload
+against any registered structure through the :class:`~repro.engine.SamplingEngine`.
 """
 
 from __future__ import annotations
@@ -20,6 +23,8 @@ def _info() -> int:
     print()
     print("Entry points:")
     print("  python -m repro.experiments [--quick] [ids]   claim tables (EXPERIMENTS.md)")
+    print("  python -m repro engine list                   sampler registry catalogue")
+    print("  python -m repro engine run SPEC [options]     batched demo queries via the engine")
     print("  python -m repro obs [--format F] [--out PATH] metrics snapshot (OBSERVABILITY.md)")
     print("  pytest tests/                                 unit/integration/property suites")
     print("  pytest benchmarks/ --benchmark-only           pytest-benchmark timings")
@@ -70,6 +75,49 @@ def _exercise_workload(n: int = 4096, s: int = 64, queries: int = 16) -> None:
     em = EMRangeSampler(machine, keys[:1024], rng=9, pool_blocks=2)
     for q in range(queries):
         em.query(float(q), float(q) + 512.0, s)
+
+
+def _engine_list() -> int:
+    from repro.engine import REGISTRY
+
+    rows = [
+        (entry.key, entry.problem, entry.summary) for entry in REGISTRY.specs()
+    ]
+    key_width = max(len(key) for key, _, _ in rows)
+    problem_width = max(len(problem) for _, problem, _ in rows)
+    print(f"{len(rows)} registered sampler specs (build via repro.build(spec, ...)):")
+    for key, problem, summary in rows:
+        print(f"  {key:<{key_width}}  {problem:<{problem_width}}  {summary}")
+    return 0
+
+
+def _engine_run(
+    spec: str, requests: int, s: int, backend: str, seed: int, n: int
+) -> int:
+    from repro.engine import QueryRequest, SamplingEngine, demo_build
+
+    sampler, template = demo_build(spec, n=n)
+    batch = [
+        QueryRequest(op=template.op, args=template.args, s=s)
+        for _ in range(requests)
+    ]
+    engine = SamplingEngine(backend=backend, seed=seed)
+    results = engine.run(sampler, batch)
+    failures = [r for r in results if not r.ok]
+    described = sampler.describe()
+    print(f"spec:     {spec} ({described.get('class', type(sampler).__name__)})")
+    print(f"backend:  {backend}  seed: {seed}  requests: {requests}  s: {s}")
+    elapsed = sum(r.elapsed_s or 0.0 for r in results)
+    print(f"executed: {len(results)} requests in {elapsed:.4f}s sampler time")
+    for index, result in enumerate(results[:3]):
+        print(f"  [{index}] seed={result.seed} values={result.values!r}")
+    if len(results) > 3:
+        print(f"  ... {len(results) - 3} more")
+    if failures:
+        for result in failures:
+            print(f"  FAILED {result.request}: {result.error!r}")
+        return 1
+    return 0
 
 
 def _format_table(snapshot: dict) -> str:
@@ -124,6 +172,30 @@ def main(argv=None) -> int:
         prog="python -m repro", description=__doc__.splitlines()[0]
     )
     subparsers = parser.add_subparsers(dest="command")
+    engine_parser = subparsers.add_parser(
+        "engine", help="inspect the sampler registry / run batched demo queries"
+    )
+    engine_sub = engine_parser.add_subparsers(dest="engine_command", required=True)
+    engine_sub.add_parser("list", help="print every registered sampler spec")
+    run_parser = engine_sub.add_parser(
+        "run", help="build SPEC on a demo dataset and batch-execute queries"
+    )
+    run_parser.add_argument("spec", help="registry key, e.g. range.chunked")
+    run_parser.add_argument(
+        "--requests", type=int, default=8, help="batch size (default: 8)"
+    )
+    run_parser.add_argument(
+        "--s", type=int, default=4, help="samples per request (default: 4)"
+    )
+    run_parser.add_argument(
+        "--backend", choices=("serial", "thread"), default="serial"
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=42, help="engine master seed (default: 42)"
+    )
+    run_parser.add_argument(
+        "--n", type=int, default=64, help="demo structure size (default: 64)"
+    )
     obs_parser = subparsers.add_parser(
         "obs", help="run a representative workload and dump the metrics snapshot"
     )
@@ -142,6 +214,12 @@ def main(argv=None) -> int:
         help="dump current process counters without running the exercise workload",
     )
     args = parser.parse_args(argv)
+    if args.command == "engine":
+        if args.engine_command == "list":
+            return _engine_list()
+        return _engine_run(
+            args.spec, args.requests, args.s, args.backend, args.seed, args.n
+        )
     if args.command == "obs":
         return _obs_dump(args.format, args.out, args.no_workload)
     return _info()

@@ -16,11 +16,12 @@ well-spread data; a budget guards against adversarial skew.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro import obs
 from repro.core import kernels
 from repro.core.set_union import SetUnionSampler
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError, EmptyQueryError, SampleBudgetExceededError
 from repro.substrates.grid import Point, ShiftedGrids
 from repro.substrates.rng import RNGLike, ensure_rng
@@ -36,8 +37,15 @@ def euclidean(a: Point, b: Point) -> float:
     return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
 
 
-class FairNearNeighbor:
+class FairNearNeighbor(EngineSampler):
     """Uniform independent sampling of the points within ``r`` of a query."""
+
+    # The grid shifts and the inner set-union sampler share one generator;
+    # seeded requests re-seed it through the protocol's swap path.
+    engine_ops = {
+        "sample": EngineOp("sample_many", takes_s=True, pass_rng=False),
+        "sample_distinct": EngineOp("sample_distinct", takes_s=True, pass_rng=False),
+    }
 
     def __init__(
         self,

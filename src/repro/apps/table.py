@@ -23,6 +23,7 @@ from bisect import bisect_left, bisect_right
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.range_sampler import ChunkedRangeSampler
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError, EmptyQueryError, SampleBudgetExceededError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
@@ -60,8 +61,14 @@ class _ColumnIndex:
         )
 
 
-class SampledTable:
+class SampledTable(EngineSampler):
     """An in-memory table with IQS indexes on chosen columns."""
+
+    # Request shape: args=(column, lo, hi); indexes must exist already
+    # (create_index is a build-time step, not a query op).
+    engine_ops = {
+        "sample": EngineOp("sample_where", takes_s=True, pass_rng=False),
+    }
 
     def __init__(self, rows: Sequence[Row], rng: RNGLike = None):
         if len(rows) == 0:
@@ -101,6 +108,10 @@ class SampledTable:
                 + " — call create_index() first"
             )
         return index
+
+    def sample(self, column: str, lo: Any, hi: Any, s: int, **kwargs: Any) -> List[Row]:
+        """Alias for :meth:`sample_where` (protocol entry)."""
+        return self.sample_where(column, lo, hi, s, **kwargs)
 
     # ------------------------------------------------------------------
 

@@ -26,6 +26,7 @@ from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from repro import obs
 from repro.core import kernels
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size, validate_weights
@@ -99,7 +100,7 @@ def alias_draw(prob: Sequence[float], alias: Sequence[int], rng: random.Random) 
     return alias[urn]
 
 
-class AliasSampler(Generic[T]):
+class AliasSampler(EngineSampler, Generic[T]):
     """O(n)-space structure drawing independent weighted samples in O(1).
 
     Parameters
@@ -128,6 +129,12 @@ class AliasSampler(Generic[T]):
         "_rng",
         "_np_tables",
     )
+
+    engine_ops = {
+        "sample": EngineOp("sample_many", takes_s=True, pass_rng=True),
+        "sample_indices": EngineOp("sample_indices", takes_s=True, pass_rng=True),
+    }
+    engine_thread_safe = True
 
     def __init__(
         self,
@@ -172,38 +179,41 @@ class AliasSampler(Generic[T]):
         """Draw one independent weighted sample in O(1) (Theorem 1)."""
         return self._items[self.sample_index()]
 
-    def sample_many(self, s: int) -> List[T]:
+    def sample_many(self, s: int, *, rng: RNGLike = None) -> List[T]:
         """Draw ``s`` independent weighted samples in O(s).
 
         Dispatches to the vectorized alias kernel when numpy is available
-        and ``s`` is large enough to amortise the kernel call.
+        and ``s`` is large enough to amortise the kernel call. ``rng``
+        overrides the instance stream for this call (engine batching).
         """
         validate_sample_size(s)
         items = self._items
         if kernels.use_batch(s):
-            return [items[i] for i in self._batch_indices(s)]
+            return [items[i] for i in self._batch_indices(s, rng)]
         if obs.ENABLED:
             _DRAWS.add(s)
-        prob, alias, rng = self._prob, self._alias, self._rng
+        prob, alias = self._prob, self._alias
+        rng = self._rng if rng is None else rng
         return [items[alias_draw(prob, alias, rng)] for _ in range(s)]
 
-    def sample_indices(self, s: int) -> List[int]:
+    def sample_indices(self, s: int, *, rng: RNGLike = None) -> List[int]:
         """Draw ``s`` independent sample indices in O(s)."""
         validate_sample_size(s)
         if kernels.use_batch(s):
-            return self._batch_indices(s)
+            return self._batch_indices(s, rng)
         if obs.ENABLED:
             _DRAWS.add(s)
-        prob, alias, rng = self._prob, self._alias, self._rng
+        prob, alias = self._prob, self._alias
+        rng = self._rng if rng is None else rng
         return [alias_draw(prob, alias, rng) for _ in range(s)]
 
-    def _batch_indices(self, s: int) -> List[int]:
+    def _batch_indices(self, s: int, rng: RNGLike = None) -> List[int]:
         if obs.ENABLED:
             _DRAWS.add(s)
         if self._np_tables is None:
             self._np_tables = kernels.as_alias_arrays(self._prob, self._alias)
         prob, alias = self._np_tables
-        gen = kernels.batch_generator(self._rng)
+        gen = kernels.batch_generator(self._rng if rng is None else rng)
         return kernels.alias_draw_batch(prob, alias, s, gen).tolist()
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from bisect import bisect_left, bisect_right
 from typing import Any, Dict, Hashable, List, NamedTuple, Optional, Protocol, Sequence, Tuple
 
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError, EmptyQueryError, SampleBudgetExceededError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size, validate_weights
@@ -178,7 +179,7 @@ class ComplementRangeIndex:
         return covers
 
 
-class ApproxCoverSampler:
+class ApproxCoverSampler(EngineSampler):
     """Theorem 6: rejection sampling over approximate covers.
 
     Expected query time ``O(|Ĉ_q| + s)`` plus cover-finding: the per-query
@@ -187,6 +188,13 @@ class ApproxCoverSampler:
     weights the acceptance rate is the *weight* fraction of ``S_q`` inside
     the union (the [2]-style extension mentioned in the §6 remarks).
     """
+
+    # Rejection counters make the structure stateful; seeded requests use
+    # the protocol's swap path.
+    engine_ops = {
+        "sample": EngineOp("sample", takes_s=True, pass_rng=False),
+        "sample_indices": EngineOp("sample_indices", takes_s=True, pass_rng=False),
+    }
 
     def __init__(
         self,

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Generic, List, Tuple, TypeVar
 
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError, EmptyQueryError, InvalidWeightError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
@@ -29,8 +30,12 @@ from repro.validation import validate_sample_size
 T = TypeVar("T")
 
 
-class ApproximateDynamicSampler(Generic[T]):
+class ApproximateDynamicSampler(EngineSampler, Generic[T]):
     """ε-approximate weighted set sampling with O(1) updates (Direction 4)."""
+
+    engine_ops = {
+        "sample": EngineOp("sample_many", takes_s=True, pass_rng=False),
+    }
 
     def __init__(self, epsilon: float = 0.1, rng: RNGLike = None):
         if not 0 < epsilon < 1:

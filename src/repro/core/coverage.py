@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
 from repro.core.range_sampler import ChunkedRangeSampler
 from repro.core.schemes import multinomial_split
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError, EmptyQueryError
 from repro.substrates.bst import StaticBST
 from repro.substrates.rng import RNGLike, ensure_rng
@@ -86,7 +87,7 @@ class BSTIndex:
         return len(self._tree)
 
 
-class CoverageSampler:
+class CoverageSampler(EngineSampler):
     """Theorem 5: IQS over any coverable index.
 
     Parameters
@@ -99,6 +100,12 @@ class CoverageSampler:
     rng:
         Seed or generator for all sampling randomness.
     """
+
+    engine_ops = {
+        "sample": EngineOp("sample", takes_s=True, pass_rng=True),
+        "sample_indices": EngineOp("sample_indices", takes_s=True, pass_rng=True),
+    }
+    engine_thread_safe = True
 
     def __init__(self, index: CoverableIndex, backend: str = "auto", rng: RNGLike = None):
         self._index = index
@@ -146,16 +153,15 @@ class CoverageSampler:
         lo, hi = span
         return self._prefix[hi] - self._prefix[lo]
 
-    def _draw_from_span(self, span: Span, count: int) -> List[int]:
+    def _draw_from_span(self, span: Span, count: int, rng) -> List[int]:
         lo, hi = span
         if hi - lo == 1:
             return [lo] * count
         if self._backend == "uniform":
-            rng = self._rng
             width = hi - lo
             return [min(lo + int(rng.random() * width), hi - 1) for _ in range(count)]
         if self._backend == "chunked":
-            return self._chunked.sample_span(lo, hi, count)
+            return self._chunked.sample_span(lo, hi, count, rng=rng)
         tables = self._span_tables.get(span)
         if tables is None:
             # Cover span not a precomputed subtree span (e.g. a singleton
@@ -163,10 +169,9 @@ class CoverageSampler:
             tables = build_alias_tables(self._weights[lo:hi])
             self._span_tables[span] = tables
         prob, alias = tables
-        rng = self._rng
         return [lo + alias_draw(prob, alias, rng) for _ in range(count)]
 
-    def sample_indices(self, query: Any, s: int) -> List[int]:
+    def sample_indices(self, query: Any, s: int, *, rng: RNGLike = None) -> List[int]:
         """``s`` independent weighted sample positions from ``S_q``.
 
         Runs the Theorem-5 algorithm: find ``C_q``, build an alias
@@ -174,22 +179,23 @@ class CoverageSampler:
         each part from its subtree.
         """
         validate_sample_size(s)
+        rng = self._rng if rng is None else rng
         cover = self._index.find_cover(query)
         if not cover:
             raise EmptyQueryError(f"no elements satisfy {query!r}")
         if len(cover) == 1:
-            return self._draw_from_span(cover[0], s)
-        counts = multinomial_split([self.span_weight(span) for span in cover], s, self._rng)
+            return self._draw_from_span(cover[0], s, rng)
+        counts = multinomial_split([self.span_weight(span) for span in cover], s, rng)
         result: List[int] = []
         for span, count in zip(cover, counts):
             if count:
-                result.extend(self._draw_from_span(span, count))
+                result.extend(self._draw_from_span(span, count, rng))
         return result
 
-    def sample(self, query: Any, s: int) -> List[Any]:
+    def sample(self, query: Any, s: int, *, rng: RNGLike = None) -> List[Any]:
         """``s`` independent weighted samples (as stored items) from ``S_q``."""
         items = self._index.leaf_items
-        return [items[i] for i in self.sample_indices(query, s)]
+        return [items[i] for i in self.sample_indices(query, s, rng=rng)]
 
     def cover_size(self, query: Any) -> int:
         """``|C_q|`` — the quantity Theorem 5's query bound is stated in."""

@@ -20,14 +20,30 @@ from bisect import bisect_left, bisect_right
 from typing import List, Sequence
 
 from repro.core.schemes import wr_from_wor
+from repro.engine.protocol import EngineOp, RangeQueryMixin
 from repro.errors import BuildError, EmptyQueryError
 from repro.substrates.minrank_tree import MinRankTree
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
 
 
-class DependentRangeSampler:
+class DependentRangeSampler(RangeQueryMixin):
     """Range sampling without cross-query independence (§2)."""
+
+    # The fixed preprocessing permutation is the whole point of this
+    # baseline, so there is no per-request stream to thread through —
+    # seeded requests swap the conversion randomness only.
+    engine_ops = {
+        "sample": EngineOp("sample_with_replacement", takes_s=True, pass_rng=False),
+        "sample_wor": EngineOp(
+            "sample_without_replacement", takes_s=True, pass_rng=False
+        ),
+    }
+    engine_thread_safe = False
+
+    def sample(self, x: float, y: float, s: int) -> List[float]:
+        """Alias for :meth:`sample_with_replacement` (protocol entry)."""
+        return self.sample_with_replacement(x, y, s)
 
     def __init__(self, keys: Sequence[float], rng: RNGLike = None):
         if len(keys) == 0:

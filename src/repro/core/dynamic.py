@@ -22,10 +22,11 @@ independent across queries *and* across updates.
 from __future__ import annotations
 
 import math
-from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+from typing import Dict, Generic, List, Tuple, TypeVar
 
 from repro import obs
 from repro.core import kernels
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import EmptyQueryError, InvalidWeightError
 from repro.substrates.fenwick import FenwickTree
 from repro.substrates.rng import RNGLike, ensure_rng
@@ -54,8 +55,12 @@ def _check_weight(weight: float) -> float:
     return value
 
 
-class FenwickDynamicSampler(Generic[T]):
+class FenwickDynamicSampler(EngineSampler, Generic[T]):
     """O(log n) updates and samples via a Fenwick tree over slot weights."""
+
+    engine_ops = {
+        "sample": EngineOp("sample_many", takes_s=True, pass_rng=False),
+    }
 
     def __init__(self, rng: RNGLike = None, initial_capacity: int = 16):
         self._rng = ensure_rng(rng)
@@ -166,13 +171,17 @@ class FenwickDynamicSampler(Generic[T]):
         self._tree = FenwickTree(self._weights)
 
 
-class BucketDynamicSampler(Generic[T]):
+class BucketDynamicSampler(EngineSampler, Generic[T]):
     """Power-of-two weight buckets with in-bucket rejection ([16]-style).
 
     Expected O(#buckets) per sample, O(1) amortised per update. With
     weights spanning a polynomial range the bucket count is O(log n),
     and the in-bucket rejection accepts with probability ≥ 1/2.
     """
+
+    engine_ops = {
+        "sample": EngineOp("sample_many", takes_s=True, pass_rng=False),
+    }
 
     def __init__(self, rng: RNGLike = None):
         self._rng = ensure_rng(rng)

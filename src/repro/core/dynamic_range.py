@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Generic, List, Optional, Tuple, TypeVar
 
+from repro.engine.protocol import EngineOp, RangeQueryMixin
 from repro.errors import BuildError, EmptyQueryError, InvalidWeightError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
@@ -84,8 +85,15 @@ def _split(node: Optional[_Node], key, *, include_key_left: bool) -> Tuple[Optio
     return left, node
 
 
-class DynamicRangeSampler(Generic[K]):
+class DynamicRangeSampler(RangeQueryMixin, Generic[K]):
     """Treap-backed weighted range sampling with O(log n) updates."""
+
+    # Updates mutate the treap, so concurrent execution is unsafe; seeded
+    # requests go through the protocol's swap path.
+    engine_ops = {
+        "sample": EngineOp("sample", takes_s=True, pass_rng=False),
+    }
+    engine_thread_safe = False
 
     def __init__(self, rng: RNGLike = None):
         self._rng = ensure_rng(rng)

@@ -14,14 +14,21 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.range_sampler import ChunkedRangeSampler
+from repro.engine.protocol import EngineOp, RangeQueryMixin
 from repro.errors import BuildError, EmptyQueryError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.substrates.yfast import YFastTrie
 from repro.validation import validate_sample_size
 
 
-class IntegerRangeSampler:
+class IntegerRangeSampler(RangeQueryMixin):
     """O(n) space, O(log log U + s) weighted range sampling over integers."""
+
+    engine_ops = {
+        "sample": EngineOp("sample", takes_s=True, pass_rng=True),
+        "sample_indices": EngineOp("sample_indices", takes_s=True, pass_rng=True),
+    }
+    engine_thread_safe = True
 
     def __init__(
         self,
@@ -52,20 +59,20 @@ class IntegerRangeSampler:
         """Index span via two O(log log U) predecessor searches."""
         return self._trie.span_of(x, y)
 
-    def sample(self, x: int, y: int, s: int) -> List[int]:
+    def sample(self, x: int, y: int, s: int, *, rng: RNGLike = None) -> List[int]:
         """``s`` independent weighted samples from ``S ∩ [x, y]``."""
         validate_sample_size(s)
         lo, hi = self._trie.span_of(x, y)
         if lo >= hi:
             raise EmptyQueryError(f"no keys in [{x}, {y}]")
-        return [self._keys[i] for i in self._chunked.sample_span(lo, hi, s)]
+        return [self._keys[i] for i in self._chunked.sample_span(lo, hi, s, rng=rng)]
 
-    def sample_indices(self, x: int, y: int, s: int) -> List[int]:
+    def sample_indices(self, x: int, y: int, s: int, *, rng: RNGLike = None) -> List[int]:
         validate_sample_size(s)
         lo, hi = self._trie.span_of(x, y)
         if lo >= hi:
             raise EmptyQueryError(f"no keys in [{x}, {y}]")
-        return self._chunked.sample_span(lo, hi, s)
+        return self._chunked.sample_span(lo, hi, s, rng=rng)
 
     def space_words(self) -> int:
         # The trie's hash levels hold O(n) prefixes total (bucketing by

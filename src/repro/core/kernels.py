@@ -69,6 +69,11 @@ _BUILD_MAX_PASSES = 64
 
 _GEN_ATTR = "_repro_batch_generator"
 
+#: Public name of the attribute caching the derived NumPy generator on a
+#: ``random.Random`` — ``substrates.rng.temporary_seed`` must stash it so
+#: a re-seeded block derives a fresh batch generator too.
+GENERATOR_ATTR = _GEN_ATTR
+
 
 def use_batch(s: int) -> bool:
     """True when a request for ``s`` draws should take the numpy path.

@@ -13,6 +13,7 @@ from typing import Hashable, List, Optional, Sequence, TypeVar
 
 from repro.core.alias import alias_draw, build_alias_tables
 from repro.core.range_sampler import RangeSamplerBase
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError, EmptyQueryError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
@@ -36,7 +37,9 @@ class NaiveRangeSampler(RangeSamplerBase):
         super().__init__(keys, weights)
         self._rng = ensure_rng(rng)
 
-    def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
+    def sample_span(
+        self, lo: int, hi: int, s: int, rng: RNGLike = None
+    ) -> List[int]:
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
@@ -44,7 +47,7 @@ class NaiveRangeSampler(RangeSamplerBase):
         reported_weights = list(self.weights[lo:hi])
         # "Sample" step: weighted draws from the reported set.
         prob, alias = build_alias_tables(reported_weights)
-        rng = self._rng
+        rng = self._rng if rng is None else rng
         return [lo + alias_draw(prob, alias, rng) for _ in range(s)]
 
     def report(self, x: float, y: float) -> List[float]:
@@ -55,12 +58,16 @@ class NaiveRangeSampler(RangeSamplerBase):
         return 2 * len(self.keys)
 
 
-class NaiveSetUnionSampler:
+class NaiveSetUnionSampler(EngineSampler):
     """Materialise ``∪G`` per query, then sample uniformly (§7 baseline).
 
     Query cost ``Θ(Σ|S_i|)`` — linear in the total size of the queried
     sets, versus Theorem 8's ``O(g log² n)``.
     """
+
+    engine_ops = {
+        "sample": EngineOp("sample_many", takes_s=True, pass_rng=False),
+    }
 
     def __init__(self, family: Sequence[Sequence[T]], rng: RNGLike = None):
         if len(family) == 0:

@@ -27,6 +27,7 @@ are exposed for observability and asserted in tests.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional
 
@@ -82,11 +83,15 @@ class QueryPlanCache:
         Monotone counters. A disabled cache (capacity 0) records nothing.
     """
 
-    __slots__ = ("_capacity", "_entries", "hits", "misses", "evictions")
+    __slots__ = ("_capacity", "_entries", "_lock", "hits", "misses", "evictions")
 
     def __init__(self, capacity: Optional[int] = None):
         self._capacity = resolve_capacity(capacity)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # The engine's thread backend drives concurrent queries through
+        # one sampler; move_to_end/popitem are not atomic, so reads take
+        # the lock too (plan computation itself stays outside it).
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -106,14 +111,15 @@ class QueryPlanCache:
         """The cached plan for ``key``, or ``None`` (recorded as a miss)."""
         if self._capacity == 0:
             return None
-        entry = self._entries.get(key, _MISSING)
-        if entry is _MISSING:
-            self.misses += 1
-            if obs.ENABLED:
-                _MISSES.inc()
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self.misses += 1
+                if obs.ENABLED:
+                    _MISSES.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
         if obs.ENABLED:
             _HITS.inc()
         return entry
@@ -122,19 +128,23 @@ class QueryPlanCache:
         """Insert (or refresh) a plan, evicting the LRU entry if full."""
         if self._capacity == 0:
             return
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
-        entries[key] = plan
-        if len(entries) > self._capacity:
-            entries.popitem(last=False)
-            self.evictions += 1
-            if obs.ENABLED:
-                _EVICTIONS.inc()
+        evicted = False
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = plan
+            if len(entries) > self._capacity:
+                entries.popitem(last=False)
+                self.evictions += 1
+                evicted = True
+        if evicted and obs.ENABLED:
+            _EVICTIONS.inc()
 
     def clear(self) -> None:
         """Drop all plans; counters are preserved."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
         """Counter snapshot: hits, misses, evictions, size, capacity.

@@ -29,6 +29,7 @@ from repro.core import kernels
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
 from repro.core.plan_cache import QueryPlanCache
 from repro.core.schemes import multinomial_split
+from repro.engine.protocol import RangeQueryMixin
 from repro.errors import BuildError, EmptyQueryError
 from repro.substrates.bst import NO_CHILD, StaticBST
 from repro.substrates.fenwick import FenwickTree
@@ -65,8 +66,16 @@ _WOR_REJECTIONS = obs.counter(
 )
 
 
-class RangeSamplerBase:
-    """Shared plumbing for samplers over a sorted weighted point set."""
+class RangeSamplerBase(RangeQueryMixin):
+    """Shared plumbing for samplers over a sorted weighted point set.
+
+    Implements the engine protocol (:mod:`repro.engine`): requests with
+    op ``"sample"`` / ``"sample_indices"`` / ``"sample_wor"`` and
+    ``args=(x, y)`` dispatch to the methods below, and every query method
+    accepts a keyword-only ``rng`` override so a batch executor can run
+    each request on its own independent stream (``None`` keeps the
+    instance stream — the byte-identical legacy behaviour).
+    """
 
     def __init__(self, keys: Sequence[float], weights: Optional[Sequence[float]] = None):
         if len(keys) == 0:
@@ -111,15 +120,23 @@ class RangeSamplerBase:
             return 0, 0
         return bisect_left(self.keys, x), bisect_right(self.keys, y)
 
-    def sample(self, x: float, y: float, s: int) -> List[float]:
+    def sample(
+        self, x: float, y: float, s: int, *, rng: RNGLike = None
+    ) -> List[float]:
         """Draw ``s`` independent weighted samples (as key values) from
         ``S ∩ [x, y]``.
 
+        ``rng`` overrides the instance stream for this call (used by the
+        engine to give each batched request its own independent stream);
+        ``None`` consumes the instance stream as always.
+
         Raises :class:`EmptyQueryError` when the interval holds no keys.
         """
-        return [self.keys[i] for i in self.sample_indices(x, y, s)]
+        return [self.keys[i] for i in self.sample_indices(x, y, s, rng=rng)]
 
-    def sample_indices(self, x: float, y: float, s: int) -> List[int]:
+    def sample_indices(
+        self, x: float, y: float, s: int, *, rng: RNGLike = None
+    ) -> List[int]:
         """Like :meth:`sample` but returns sorted-order element indices."""
         validate_sample_size(s)
         lo, hi = self.span_of(x, y)
@@ -129,10 +146,12 @@ class RangeSamplerBase:
             with obs.span(
                 "range.query", structure=type(self).__name__, s=s, span=hi - lo
             ):
-                return self.sample_span(lo, hi, s)
-        return self.sample_span(lo, hi, s)
+                return self.sample_span(lo, hi, s, rng=rng)
+        return self.sample_span(lo, hi, s, rng=rng)
 
-    def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
+    def sample_span(
+        self, lo: int, hi: int, s: int, rng: RNGLike = None
+    ) -> List[int]:
         """Draw ``s`` weighted samples from the index range ``[lo, hi)``.
 
         Exposed separately because tree sampling (§5) reduces subtree
@@ -141,7 +160,9 @@ class RangeSamplerBase:
         """
         raise NotImplementedError
 
-    def sample_without_replacement(self, x: float, y: float, s: int) -> List[float]:
+    def sample_without_replacement(
+        self, x: float, y: float, s: int, *, rng: RNGLike = None
+    ) -> List[float]:
         """A WoR sample of ``s`` distinct elements of ``S ∩ [x, y]`` (§1).
 
         Uniform weights: duplicate-rejection over the WR sampler —
@@ -165,10 +186,11 @@ class RangeSamplerBase:
         # the successive-weighted path, which draws from the identical
         # distribution (weighted WoR over equal weights is uniform WoR).
         uniform = self._all_weights_equal
+        if rng is None:
+            rng = getattr(self, "_rng", None)
         if uniform and s > population // 2:
             from repro.core.schemes import uniform_indices_without_replacement
 
-            rng = getattr(self, "_rng", None)
             indices = uniform_indices_without_replacement(lo, hi, s, rng=rng)
             if obs.ENABLED:
                 _WOR_DRAWS.add(s)  # Floyd path: no rejections by design
@@ -184,7 +206,7 @@ class RangeSamplerBase:
                     "WoR rejection budget exhausted (extremely skewed weights); "
                     "reduce s or use uniform weights"
                 )
-            (index,) = self.sample_span(lo, hi, 1)
+            (index,) = self.sample_span(lo, hi, 1, rng=rng)
             if index not in seen:
                 seen.add(index)
                 ordered.append(self.keys[index])
@@ -245,19 +267,21 @@ class TreeWalkRangeSampler(RangeSamplerBase):
             self.plan_cache.put((lo, hi), plan)
         return plan
 
-    def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
+    def sample_span(
+        self, lo: int, hi: int, s: int, rng: RNGLike = None
+    ) -> List[int]:
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
         tree = self._tree
-        rng = self._rng
+        rng = self._rng if rng is None else rng
         enabled = obs.ENABLED
         if enabled:
             _TW_QUERIES.inc()
             _TW_DRAWS.add(s)
         cover, prob, alias, np_slot = self._span_plan(lo, hi)
         if kernels.use_batch(s):
-            return self._sample_span_batch(cover, prob, alias, np_slot, s)
+            return self._sample_span_batch(cover, prob, alias, np_slot, s, rng)
         # Local bindings for the packed node lists: the walk is the hot
         # loop of the O((1 + s) log n) query, and attribute/method dispatch
         # per level would double its cost.
@@ -298,7 +322,9 @@ class TreeWalkRangeSampler(RangeSamplerBase):
             result.append(span_lo[node])
         return result
 
-    def _sample_span_batch(self, cover, prob, alias, np_slot, s: int) -> List[int]:
+    def _sample_span_batch(
+        self, cover, prob, alias, np_slot, s: int, rng: RNGLike = None
+    ) -> List[int]:
         """Batched §3.2 walk: draw all cover nodes, then descend all
         ``s`` tokens level-by-level in vectorized steps."""
         np = kernels.np
@@ -311,7 +337,7 @@ class TreeWalkRangeSampler(RangeSamplerBase):
                 np.asarray(span_lo, dtype=np.intp),
             )
         left, right, node_weight, span_lo = self._np_tree
-        gen = kernels.batch_generator(self._rng)
+        gen = kernels.batch_generator(self._rng if rng is None else rng)
         if np_slot[0] is None:
             np_prob, np_alias = kernels.as_alias_arrays(prob, alias)
             np_slot[0] = (np.asarray(cover, dtype=np.intp), np_prob, np_alias)
@@ -451,11 +477,13 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
             self.plan_cache.put((lo, hi), plan)
         return plan
 
-    def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
+    def sample_span(
+        self, lo: int, hi: int, s: int, rng: RNGLike = None
+    ) -> List[int]:
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
-        rng = self._rng
+        rng = self._rng if rng is None else rng
         enabled = obs.ENABLED
         if enabled:
             _L2_QUERIES.inc()
@@ -636,14 +664,16 @@ class ChunkedRangeSampler(RangeSamplerBase):
         ``[prob, alias, np_slot]`` plan entry (numpy views filled lazily)."""
         return [*build_alias_tables(self.weights[lo:hi]), [None]]
 
-    def _sample_partial(self, lo: int, hi: int, count: int, tables=None) -> List[int]:
+    def _sample_partial(
+        self, lo: int, hi: int, count: int, tables=None, rng: RNGLike = None
+    ) -> List[int]:
         """Draw from a partial chunk via an on-the-fly alias structure."""
         if tables is None:
             tables = self._partial_plan(lo, hi)
         if obs.ENABLED:
             _CH_TOUCHES.inc()  # a partial part touches exactly one chunk
         prob, alias, np_slot = tables
-        rng = self._rng
+        rng = self._rng if rng is None else rng
         if kernels.use_batch(count):
             gen = kernels.batch_generator(rng)
             if np_slot[0] is None:
@@ -653,12 +683,14 @@ class ChunkedRangeSampler(RangeSamplerBase):
             return (lo + draws).tolist()
         return [int(lo + alias_draw(prob, alias, rng)) for _ in range(count)]
 
-    def _sample_chunk_aligned(self, chunk_lo: int, chunk_hi: int, count: int) -> List[int]:
+    def _sample_chunk_aligned(
+        self, chunk_lo: int, chunk_hi: int, count: int, rng: RNGLike = None
+    ) -> List[int]:
         """Two-level sampling over fully covered chunks (§4.2)."""
-        rng = self._rng
-        chunk_draws = self._t_chunk.sample_span(chunk_lo, chunk_hi, count)
+        rng = self._rng if rng is None else rng
+        chunk_draws = self._t_chunk.sample_span(chunk_lo, chunk_hi, count, rng=rng)
         if kernels.use_batch(count):
-            return self._chunk_level_batch(chunk_draws)
+            return self._chunk_level_batch(chunk_draws, rng=rng)
         per_chunk: dict = {}
         for chunk in chunk_draws:
             per_chunk[chunk] = per_chunk.get(chunk, 0) + 1
@@ -673,7 +705,9 @@ class ChunkedRangeSampler(RangeSamplerBase):
             )
         return result
 
-    def _chunk_level_batch(self, chunk_draws: List[int]) -> List[int]:
+    def _chunk_level_batch(
+        self, chunk_draws: List[int], rng: RNGLike = None
+    ) -> List[int]:
         """Resolve a batch of chunk draws to element indices in one pass.
 
         All per-chunk alias tables are packed into ``g × chunk_size``
@@ -697,7 +731,7 @@ class ChunkedRangeSampler(RangeSamplerBase):
             starts = np.arange(g, dtype=np.intp) * width
             self._np_chunk_matrix = (prob_mat, alias_mat, lengths, starts)
         prob_mat, alias_mat, lengths, starts = self._np_chunk_matrix
-        gen = kernels.batch_generator(self._rng)
+        gen = kernels.batch_generator(self._rng if rng is None else rng)
         chunks = np.asarray(chunk_draws, dtype=np.intp)
         if obs.ENABLED:
             # np.unique is an enabled-only cost: the distinct-chunk count
@@ -737,30 +771,33 @@ class ChunkedRangeSampler(RangeSamplerBase):
             self.plan_cache.put((lo, hi), plan)
         return plan
 
-    def sample_span(self, lo: int, hi: int, s: int) -> List[int]:
+    def sample_span(
+        self, lo: int, hi: int, s: int, rng: RNGLike = None
+    ) -> List[int]:
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
         if obs.ENABLED:
             _CH_QUERIES.inc()
             _CH_DRAWS.add(s)
+        rng = self._rng if rng is None else rng
         parts = self._span_plan(lo, hi)
 
         if len(parts) == 1:
             kind, p_lo, p_hi, _, tables = parts[0]
             if kind == "mid":
-                return self._sample_chunk_aligned(p_lo, p_hi, s)
-            return self._sample_partial(p_lo, p_hi, s, tables)
+                return self._sample_chunk_aligned(p_lo, p_hi, s, rng=rng)
+            return self._sample_partial(p_lo, p_hi, s, tables, rng=rng)
 
-        counts = multinomial_split([part[3] for part in parts], s, self._rng)
+        counts = multinomial_split([part[3] for part in parts], s, rng)
         result: List[int] = []
         for (kind, p_lo, p_hi, _, tables), count in zip(parts, counts):
             if count == 0:
                 continue
             if kind == "mid":
-                result.extend(self._sample_chunk_aligned(p_lo, p_hi, count))
+                result.extend(self._sample_chunk_aligned(p_lo, p_hi, count, rng=rng))
             else:
-                result.extend(self._sample_partial(p_lo, p_hi, count, tables))
+                result.extend(self._sample_partial(p_lo, p_hi, count, tables, rng=rng))
         return result
 
     def space_words(self) -> int:

@@ -16,7 +16,6 @@ collision-rejection WoR wrapper usable with any WR sampler.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Hashable, List, Optional, Sequence, Set, TypeVar
 
 from repro.core import kernels

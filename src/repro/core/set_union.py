@@ -31,10 +31,11 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Dict, Hashable, List, Optional, Sequence, TypeVar
 
 from repro import obs
 from repro.core import kernels
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError, EmptyQueryError, SampleBudgetExceededError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.substrates.sketch import KMVSketch
@@ -54,7 +55,7 @@ _SU_CLAMPS = obs.counter(
 )
 
 
-class SetUnionSampler:
+class SetUnionSampler(EngineSampler):
     """Theorem 8: O(n) space, O(g log² n) expected query time.
 
     Parameters
@@ -74,6 +75,12 @@ class SetUnionSampler:
         Queries between automatic rebuilds; defaults to ``n`` (the paper's
         standard rebuilding schedule). ``0`` disables rebuilding.
     """
+
+    # Stateful (rebuild epochs, attempt counters): seeded requests execute
+    # under the protocol's swap lock rather than a per-call rng.
+    engine_ops = {
+        "sample": EngineOp("sample_many", takes_s=True, pass_rng=False),
+    }
 
     def __init__(
         self,

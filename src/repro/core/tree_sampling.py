@@ -28,6 +28,7 @@ from repro import obs
 from repro.core import kernels
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
 from repro.core.range_sampler import ChunkedRangeSampler
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError, InvalidWeightError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
@@ -185,8 +186,13 @@ class Tree:
         return best
 
 
-class TreeSampler:
+class TreeSampler(EngineSampler):
     """§3.2 top-down tree sampling: O(n) space, O(height) per sample."""
+
+    engine_ops = {
+        "sample": EngineOp("sample_many", takes_s=True, pass_rng=True),
+    }
+    engine_thread_safe = True
 
     def __init__(self, tree: Tree, rng: RNGLike = None):
         self._tree = tree
@@ -243,19 +249,19 @@ class TreeSampler:
     def tree(self) -> Tree:
         return self._tree
 
-    def sample(self, q: int) -> int:
+    def sample(self, q: int, *, rng: RNGLike = None) -> int:
         """One weighted leaf sample from the subtree of ``q``."""
         if obs.ENABLED:
             _TOPDOWN_DRAWS.inc()
         tree = self._tree
-        rng = self._rng
+        rng = self._rng if rng is None else rng
         node = q
         while not tree.is_leaf(node):
             prob, alias = self._child_tables[node]
             node = tree.children(node)[alias_draw(prob, alias, rng)]
         return node
 
-    def sample_many(self, q: int, s: int) -> List[int]:
+    def sample_many(self, q: int, s: int, *, rng: RNGLike = None) -> List[int]:
         """``s`` independent weighted leaf samples (O(s · height)).
 
         The batch path descends all ``s`` tokens together, one vectorized
@@ -265,10 +271,10 @@ class TreeSampler:
         """
         validate_sample_size(s)
         if kernels.use_batch(s):
-            return self._sample_many_batch(q, s)
-        return [self.sample(q) for _ in range(s)]
+            return self._sample_many_batch(q, s, rng)
+        return [self.sample(q, rng=rng) for _ in range(s)]
 
-    def _sample_many_batch(self, q: int, s: int) -> List[int]:
+    def _sample_many_batch(self, q: int, s: int, rng: RNGLike = None) -> List[int]:
         if obs.ENABLED:
             _TOPDOWN_DRAWS.add(s)
         np = kernels.np
@@ -278,7 +284,7 @@ class TreeSampler:
                 (tree.is_leaf(v) for v in range(len(tree))), dtype=bool, count=len(tree)
             )
         leaf = self._np_leaf_mask
-        gen = kernels.batch_generator(self._rng)
+        gen = kernels.batch_generator(self._rng if rng is None else rng)
         nodes = np.full(s, q, dtype=np.intp)
         while True:
             pending = np.nonzero(~leaf[nodes])[0]
@@ -307,13 +313,18 @@ class TreeSampler:
         return tables
 
 
-class FlatTreeSampler:
+class FlatTreeSampler(EngineSampler):
     """§5 tree sampling via the DFS leaf order: O(log n + s) per query.
 
     With uniform leaf weights the query runs in O(1 + s) (Lemma 4's bound);
     with general weights it delegates to the Theorem-3 range structure over
     Π — see the module docstring for the substitution note.
     """
+
+    engine_ops = {
+        "sample": EngineOp("sample_many", takes_s=True, pass_rng=True),
+    }
+    engine_thread_safe = True
 
     def __init__(self, tree: Tree, rng: RNGLike = None):
         self._tree = tree
@@ -357,26 +368,26 @@ class FlatTreeSampler:
         """The precomputed (a, b) of §5 for node ``q``."""
         return self._span[q]
 
-    def sample(self, q: int) -> int:
-        return self.sample_many(q, 1)[0]
+    def sample(self, q: int, *, rng: RNGLike = None) -> int:
+        return self.sample_many(q, 1, rng=rng)[0]
 
-    def sample_many(self, q: int, s: int) -> List[int]:
+    def sample_many(self, q: int, s: int, *, rng: RNGLike = None) -> List[int]:
         """``s`` independent weighted leaf samples from the subtree of ``q``."""
         validate_sample_size(s)
         if obs.ENABLED:
             _FLAT_DRAWS.add(s)
         lo, hi = self._span[q]
+        rng = self._rng if rng is None else rng
         if self._uniform:
             if kernels.use_batch(s):
-                gen = kernels.batch_generator(self._rng)
+                gen = kernels.batch_generator(rng)
                 positions = kernels.uniform_index_batch(lo, hi, s, gen).tolist()
             else:
-                rng = self._rng
                 width = hi - lo
                 positions = [lo + int(rng.random() * width) for _ in range(s)]
                 positions = [min(position, hi - 1) for position in positions]
         else:
             assert self._range_sampler is not None
-            positions = self._range_sampler.sample_span(lo, hi, s)
+            positions = self._range_sampler.sample_span(lo, hi, s, rng=rng)
         leaves = self._leaves
         return [leaves[position] for position in positions]

@@ -23,6 +23,7 @@ from typing import Generator, List, Optional, Sequence
 
 from repro.em.array import ExternalArray, ExternalWriter
 from repro.em.model import EMMachine
+from repro.em.sample_pool import _EMSetEngineMixin
 from repro.errors import BuildError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
@@ -85,7 +86,7 @@ def _stepwise_sort(
     return result
 
 
-class DeamortizedSamplePoolSetSampler:
+class DeamortizedSamplePoolSetSampler(_EMSetEngineMixin):
     """§8 set sampling with worst-case (not just amortised) query I/O.
 
     Invariant: after a fraction ``f`` of the active pool has been

@@ -27,13 +27,14 @@ I/Os, so the accounting is honest.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro import obs
 from repro.core.alias import alias_draw, build_alias_tables
 from repro.core.schemes import multinomial_split
 from repro.em.btree import Ref, StaticBTree
 from repro.em.model import EMMachine
+from repro.engine.protocol import EngineOp, RangeQueryMixin
 from repro.errors import BuildError, EmptyQueryError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
@@ -45,7 +46,7 @@ _EM_QUERIES = obs.counter("em.queries", "EM sampling queries (§8 structures)")
 _EM_REFILLS = obs.counter("em.pool_refills", "Sample-pool refills (amortised cost)")
 
 
-class EMRangeSampler:
+class EMRangeSampler(RangeQueryMixin):
     """B-tree with per-subtree sample pools for EM range sampling.
 
     ``pool_blocks`` controls the pool size per subtree (``pool_blocks·B - 1``
@@ -53,6 +54,31 @@ class EMRangeSampler:
     more samples, at a linear space premium — the classic §8 space/query
     trade-off. Pass ``weights`` for weighted sampling.
     """
+
+    # Pools mutate on every query (consume + refill), so execution is
+    # stateful: seeded requests go through the protocol's swap path.
+    engine_ops = {
+        "sample": EngineOp("query", takes_s=True, pass_rng=False),
+    }
+    engine_thread_safe = False
+
+    @classmethod
+    def build(
+        cls,
+        machine: Optional[EMMachine] = None,
+        values: Sequence[float] = (),
+        block_size: int = 64,
+        memory_blocks: int = 8,
+        **params,
+    ) -> "EMRangeSampler":
+        """Registry factory: assemble the simulated machine when absent."""
+        if machine is None:
+            machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+        return cls(machine, values, **params)
+
+    def sample(self, x: float, y: float, s: int) -> List[float]:
+        """Alias for :meth:`query` (protocol entry)."""
+        return self.query(x, y, s)
 
     def __init__(
         self,

@@ -29,6 +29,7 @@ from repro import obs
 from repro.em.array import ExternalArray, ExternalWriter
 from repro.em.model import EMMachine
 from repro.em.sorting import external_merge_sort
+from repro.engine.protocol import EngineOp, EngineSampler
 from repro.errors import BuildError
 from repro.substrates.rng import RNGLike, ensure_rng
 from repro.validation import validate_sample_size
@@ -39,7 +40,34 @@ _EM_QUERIES = obs.counter("em.queries", "EM sampling queries (§8 structures)")
 _EM_REFILLS = obs.counter("em.pool_refills", "Sample-pool refills (amortised cost)")
 
 
-class NaiveEMSetSampler:
+class _EMSetEngineMixin(EngineSampler):
+    """Shared engine plumbing for the §8 set samplers (args=(), op→query)."""
+
+    engine_ops = {
+        "sample": EngineOp("query", takes_s=True, pass_rng=False),
+    }
+    engine_thread_safe = False
+
+    @classmethod
+    def build(
+        cls,
+        machine: Optional[EMMachine] = None,
+        values: Sequence = (),
+        block_size: int = 64,
+        memory_blocks: int = 8,
+        **params,
+    ):
+        """Registry factory: assemble the simulated machine when absent."""
+        if machine is None:
+            machine = EMMachine(block_size=block_size, memory_blocks=memory_blocks)
+        return cls(machine, values, **params)
+
+    def sample(self, s: int) -> List:
+        """Alias for ``query`` (protocol entry)."""
+        return self.query(s)
+
+
+class NaiveEMSetSampler(_EMSetEngineMixin):
     """One random block access per sample — the §8 cautionary baseline."""
 
     def __init__(self, machine: EMMachine, items: Sequence, rng: RNGLike = None):
@@ -62,7 +90,7 @@ class NaiveEMSetSampler:
         return [self._data.get(int(rng.random() * n) % n) for _ in range(s)]
 
 
-class SamplePoolSetSampler:
+class SamplePoolSetSampler(_EMSetEngineMixin):
     """The §8 sample-pool structure: linear space, sequential queries."""
 
     def __init__(

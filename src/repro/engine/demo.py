@@ -1,0 +1,133 @@
+"""Synthesized demo workloads for every registry spec.
+
+``engine run <spec>`` (CLI), the registry smoke tests, and the CI smoke
+step all need a small-but-representative instance of each structure plus
+a valid :class:`~repro.engine.protocol.QueryRequest` for it. This module
+is the single source of those fixtures, so adding a registry key comes
+with exactly one place to teach the tooling how to drive it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.engine.protocol import QueryRequest
+from repro.engine.registry import REGISTRY
+
+__all__ = ["demo_build", "demo_request"]
+
+#: Structure size used by the synthesized workloads; big enough to make
+#: batch kernels and pool refills reachable, small enough for CI.
+DEMO_N = 64
+
+
+def _demo_keys(n: int) -> list:
+    return [float(i) for i in range(1, n + 1)]
+
+
+def _demo_points(n: int) -> list:
+    side = max(2, int(n ** 0.5))
+    return [(float(i % side), float(i // side)) for i in range(n)]
+
+
+def demo_build(spec: str, n: int = DEMO_N, rng: int = 1) -> Tuple[Any, QueryRequest]:
+    """A freshly built sampler for ``spec`` plus a request that exercises it.
+
+    Deterministic: same ``(spec, n, rng)`` → identical structure and
+    request, so two calls support (state, seed) replay comparisons.
+    """
+    from repro.engine.registry import build
+
+    keys = _demo_keys(n)
+    lo, hi = keys[n // 8], keys[(5 * n) // 8]
+    s = 4
+
+    if spec == "alias":
+        weights = [1.0 + (i % 5) for i in range(n)]
+        return build(spec, items=keys, weights=weights, rng=rng), QueryRequest(
+            op="sample", s=s
+        )
+    if spec in ("tree.topdown", "tree.flat"):
+        from repro.core.tree_sampling import Tree
+
+        nested = [
+            [(f"leaf{i}", 1.0 + i % 3) for i in range(4)],
+            [(f"leaf{4 + i}", 2.0) for i in range(4)],
+        ]
+        tree = Tree.from_nested(nested)
+        return build(spec, tree=tree, rng=rng), QueryRequest(
+            op="sample", args=(tree.root,), s=s
+        )
+    if spec == "range.em":
+        return build(
+            spec, values=keys, rng=rng, block_size=8, memory_blocks=4
+        ), QueryRequest(op="sample", args=(lo, hi), s=s)
+    if spec == "range.dynamic":
+        sampler = build(spec, rng=rng)
+        for key in keys:
+            sampler.insert(key, 1.0)
+        return sampler, QueryRequest(op="sample", args=(lo, hi), s=s)
+    if spec == "range.integer":
+        return build(spec, keys=list(range(1, n + 1)), rng=rng), QueryRequest(
+            op="sample", args=(int(lo), int(hi)), s=s
+        )
+    if spec.startswith("range."):
+        return build(spec, keys=keys, rng=rng), QueryRequest(
+            op="sample", args=(lo, hi), s=s
+        )
+    if spec == "coverage":
+        from repro.core.coverage import BSTIndex
+
+        return build(spec, index=BSTIndex(keys), rng=rng), QueryRequest(
+            op="sample", args=((lo, hi),), s=s
+        )
+    if spec == "coverage.halfplane":
+        # Halfplane queries are (a, b): sample among points with y <= a·x + b.
+        return build(spec, points=_demo_points(n), rng=rng), QueryRequest(
+            op="sample", args=((0.0, 3.5),), s=s
+        )
+    if spec.startswith("coverage."):
+        rect = ((0.0, 3.0), (0.0, 3.0))
+        return build(spec, points=_demo_points(n), rng=rng), QueryRequest(
+            op="sample", args=(rect,), s=s
+        )
+    if spec.startswith("complement."):
+        return build(spec, keys=keys, rng=rng), QueryRequest(
+            op="sample", args=((lo, hi),), s=s
+        )
+    if spec.startswith("setunion"):
+        family = [list(range(j * 8, (j + 1) * 8 + 2)) for j in range(6)]
+        return build(spec, family=family, rng=rng), QueryRequest(
+            op="sample", args=([0, 1, 2],), s=s
+        )
+    if spec == "fair_nn":
+        return build(spec, points=_demo_points(n), radius=2.0, rng=rng), QueryRequest(
+            op="sample", args=((3.0, 3.0),), s=s
+        )
+    if spec.startswith("dynamic."):
+        if spec == "dynamic.approx":
+            sampler = build(spec, epsilon=0.1, rng=rng)
+        else:
+            sampler = build(spec, rng=rng)
+        for index, key in enumerate(keys):
+            sampler.insert(key, 1.0 + index % 3)
+        return sampler, QueryRequest(op="sample", s=s)
+    if spec.startswith("em."):
+        return build(
+            spec, values=keys, rng=rng, block_size=8, memory_blocks=4
+        ), QueryRequest(op="sample", s=s)
+    if spec == "table":
+        rows = [{"id": i, "value": float(i)} for i in range(n)]
+        table = build(spec, rows=rows, rng=rng)
+        table.create_index("value")
+        return table, QueryRequest(op="sample", args=("value", lo, hi), s=s)
+    if spec in REGISTRY:
+        raise NotImplementedError(f"no demo workload defined for spec {spec!r}")
+    REGISTRY.get(spec)  # raises KeyError with did-you-mean hints
+    raise AssertionError("unreachable")
+
+
+def demo_request(spec: str, s: int = 4) -> QueryRequest:
+    """The demo request for ``spec`` alone (args without the structure)."""
+    _, request = demo_build(spec, n=DEMO_N)
+    return QueryRequest(op=request.op, args=request.args, s=s)

@@ -1,0 +1,118 @@
+"""Composite builders behind multi-piece registry specs.
+
+Each factory assembles an index substrate plus its Theorem-5 (or §6)
+sampler from flat keyword parameters, so registry callers never juggle
+two-step construction. Imported lazily by the registry — keep this
+module free of import-time work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.substrates.rng import RNGLike
+
+__all__ = [
+    "build_complement_approx",
+    "build_complement_precomputed",
+    "build_halfplane_coverage",
+    "build_kdtree_coverage",
+    "build_quadtree_coverage",
+    "build_rangetree_coverage",
+]
+
+
+def build_kdtree_coverage(
+    points: Sequence[Any],
+    weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
+    rng: RNGLike = None,
+    **index_params: Any,
+):
+    """Theorem 5 over a kd-tree built from ``points``."""
+    from repro.core.coverage import CoverageSampler
+    from repro.substrates.kdtree import KDTree
+
+    return CoverageSampler(
+        KDTree(points, weights, **index_params), backend=backend, rng=rng
+    )
+
+
+def build_quadtree_coverage(
+    points: Sequence[Any],
+    weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
+    rng: RNGLike = None,
+    **index_params: Any,
+):
+    """Theorem 5 over a quadtree built from ``points``."""
+    from repro.core.coverage import CoverageSampler
+    from repro.substrates.quadtree import QuadTree
+
+    return CoverageSampler(
+        QuadTree(points, weights, **index_params), backend=backend, rng=rng
+    )
+
+
+def build_rangetree_coverage(
+    points: Sequence[Any],
+    weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
+    rng: RNGLike = None,
+    **index_params: Any,
+):
+    """Theorem 5 over a multi-dimensional range tree built from ``points``."""
+    from repro.core.coverage import CoverageSampler
+    from repro.substrates.rangetree import RangeTree
+
+    return CoverageSampler(
+        RangeTree(points, weights, **index_params), backend=backend, rng=rng
+    )
+
+
+def build_halfplane_coverage(
+    points: Sequence[Any],
+    weights: Optional[Sequence[float]] = None,
+    backend: str = "auto",
+    rng: RNGLike = None,
+):
+    """Theorem 5 over the convex-layers halfplane index (P11)."""
+    from repro.core.coverage import CoverageSampler
+    from repro.substrates.halfplane import HalfplaneIndex
+
+    return CoverageSampler(HalfplaneIndex(points, weights), backend=backend, rng=rng)
+
+
+def build_complement_approx(
+    keys: Sequence[float] = (),
+    weights: Optional[Sequence[float]] = None,
+    rng: RNGLike = None,
+    index: Any = None,
+    **sampler_params: Any,
+):
+    """§6 range-complement sampling with on-the-fly approximate covers.
+
+    Pass a prebuilt :class:`~repro.core.approx_coverage.ComplementRangeIndex`
+    as ``index`` to share it between several samplers (as experiment E7
+    does when comparing the on-the-fly and precomputed variants).
+    """
+    from repro.core.approx_coverage import ApproxCoverSampler, ComplementRangeIndex
+
+    if index is None:
+        index = ComplementRangeIndex(keys, weights)
+    return ApproxCoverSampler(index, rng=rng, **sampler_params)
+
+
+def build_complement_precomputed(
+    keys: Sequence[float] = (),
+    weights: Optional[Sequence[float]] = None,
+    rng: RNGLike = None,
+    index: Any = None,
+    **sampler_params: Any,
+):
+    """§6 range-complement sampling with precomputed acceptance tables."""
+    from repro.core.approx_coverage import ComplementRangeIndex, PrecomputedCoverSampler
+
+    if index is None:
+        index = ComplementRangeIndex(keys, weights)
+    return PrecomputedCoverSampler(index, rng=rng, **sampler_params)

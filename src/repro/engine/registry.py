@@ -1,0 +1,248 @@
+"""String-keyed sampler registry and the ``build(spec, **params)`` factory.
+
+Every P1–P7 structure (and the dynamic / external-memory / application
+extensions) is registered here under a stable key, so experiments,
+benchmarks, the CLI, and serving code construct samplers through one
+factory instead of scattering constructor imports. Targets are stored as
+dotted paths and imported lazily — importing :mod:`repro.engine` stays
+cheap and cycle-free.
+
+``build(spec, **params)`` resolves the target and calls its ``build``
+classmethod (provided by :class:`~repro.engine.protocol.EngineSampler`,
+overridden by composite structures such as the EM sampler, which
+assembles its simulated machine from ``block_size``/``memory_blocks``
+when no ``machine`` is passed). Registry-built samplers are the exact
+classes the constructors produce — same params, same seed, byte-identical
+sample streams (asserted in ``tests/engine/test_registry.py``).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from difflib import get_close_matches
+from typing import Any, Dict, Iterator, List, Tuple
+
+__all__ = ["REGISTRY", "SamplerEntry", "SamplerRegistry", "build"]
+
+
+@dataclass(frozen=True)
+class SamplerEntry:
+    """One registry row: key, lazy target, and catalogue metadata."""
+
+    key: str
+    #: ``"module.path:AttrName"`` — imported on first build/resolve.
+    target: str
+    #: Paper problem tag (``"P3"``, ``"§8"``, ...), for ``engine list``.
+    problem: str
+    summary: str
+    #: Parameters ``engine run`` needs to synthesize a demo workload;
+    #: free-form hints for humans otherwise.
+    params: Tuple[str, ...] = field(default_factory=tuple)
+
+    def resolve(self) -> Any:
+        module_name, _, attr = self.target.partition(":")
+        module = importlib.import_module(module_name)
+        try:
+            return getattr(module, attr)
+        except AttributeError:
+            raise ImportError(
+                f"registry target {self.target!r} for spec {self.key!r} "
+                f"does not exist"
+            ) from None
+
+
+class SamplerRegistry:
+    """Mutable mapping of spec key → :class:`SamplerEntry`."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SamplerEntry] = {}
+
+    def register(
+        self,
+        key: str,
+        target: str,
+        *,
+        problem: str,
+        summary: str,
+        params: Tuple[str, ...] = (),
+    ) -> SamplerEntry:
+        """Add (or replace) a spec; returns the stored entry."""
+        if not key or any(ch.isspace() for ch in key):
+            raise ValueError(f"registry key must be non-empty and space-free: {key!r}")
+        entry = SamplerEntry(
+            key=key, target=target, problem=problem, summary=summary, params=params
+        )
+        self._entries[key] = entry
+        return entry
+
+    def get(self, key: str) -> SamplerEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            hint = ""
+            close = get_close_matches(key, self._entries, n=3)
+            if close:
+                hint = f" (did you mean {', '.join(repr(c) for c in close)}?)"
+            raise KeyError(f"unknown sampler spec {key!r}{hint}")
+        return entry
+
+    def resolve(self, key: str) -> Any:
+        """The class or factory behind ``key`` (imported, spec stamped)."""
+        entry = self.get(key)
+        target = entry.resolve()
+        # Stamp the registry key on protocol classes so describe() can
+        # report it; plain factory functions are left untouched.
+        if isinstance(target, type) and getattr(target, "engine_spec", None) != key:
+            try:
+                target.engine_spec = key
+            except (AttributeError, TypeError):
+                pass
+        return target
+
+    def build(self, key: str, **params: Any) -> Any:
+        """Construct the sampler registered under ``key``.
+
+        Equivalent to calling the class's ``build(**params)`` (itself the
+        constructor unless overridden) — registry construction adds no
+        wrapper and changes no stream.
+        """
+        target = self.resolve(key)
+        builder = getattr(target, "build", None)
+        if builder is not None and isinstance(target, type):
+            sampler = builder(**params)
+        else:
+            sampler = target(**params)
+        # Factory targets (composite builders) return instances of classes
+        # registered under other keys (or none); stamp the instance so
+        # describe() reports the spec it was built as. Slotted classes
+        # without the attribute slot keep their class-level stamp.
+        if getattr(sampler, "engine_spec", None) != key:
+            try:
+                sampler.engine_spec = key
+            except (AttributeError, TypeError):
+                pass
+        return sampler
+
+    def specs(self) -> List[SamplerEntry]:
+        """All entries, sorted by key (the ``engine list`` table)."""
+        return [self._entries[key] for key in sorted(self._entries)]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _populate(registry: SamplerRegistry) -> None:
+    """Register every shipped structure. Keys are the public contract."""
+    entries = [
+        # -- P1: weighted set sampling -------------------------------------
+        ("alias", "repro.core.alias:AliasSampler", "P1",
+         "Theorem 1 alias structure: O(n) build, O(1) per draw",
+         ("items", "weights", "rng")),
+        # -- P2: tree sampling ---------------------------------------------
+        ("tree.topdown", "repro.core.tree_sampling:TreeSampler", "P2",
+         "§3.2 top-down subtree sampling, O(height) per draw",
+         ("tree", "rng")),
+        ("tree.flat", "repro.core.tree_sampling:FlatTreeSampler", "P2",
+         "Proposition 1 reduction: subtree queries over the DFS leaf order",
+         ("tree", "rng")),
+        # -- P3: weighted range sampling -----------------------------------
+        ("range.treewalk", "repro.core.range_sampler:TreeWalkRangeSampler", "P3",
+         "§3.2 BST walk: O(n) space, O((1+s) log n) query",
+         ("keys", "weights", "rng")),
+        ("range.lemma2", "repro.core.range_sampler:AliasAugmentedRangeSampler", "P3",
+         "Lemma 2: O(n log n) space, O(log n + s) query",
+         ("keys", "weights", "rng")),
+        ("range.chunked", "repro.core.range_sampler:ChunkedRangeSampler", "P3",
+         "Theorem 3: O(n) space, O(log n + s) query (default choice)",
+         ("keys", "weights", "rng")),
+        ("range.naive", "repro.core.naive:NaiveRangeSampler", "P3",
+         "report-then-sample baseline, O(log n + |S_q| + s)",
+         ("keys", "weights", "rng")),
+        ("range.dependent", "repro.core.dependent:DependentRangeSampler", "§2",
+         "baseline WITHOUT cross-query independence (what IQS fixes)",
+         ("keys", "rng")),
+        ("range.integer", "repro.core.integer_range:IntegerRangeSampler", "P13",
+         "§4.3 integer universes: O(log log U + s) query",
+         ("keys", "weights", "rng")),
+        ("range.dynamic", "repro.core.dynamic_range:DynamicRangeSampler", "P12",
+         "§4.3 treap: O(log n) updates, O((1+s) log n) query",
+         ("rng",)),
+        ("range.em", "repro.em.em_range_sampler:EMRangeSampler", "§8",
+         "external-memory B-tree with per-subtree sample pools",
+         ("values", "weights", "block_size", "memory_blocks", "rng")),
+        # -- P4/P5: coverage (Theorem 5) -----------------------------------
+        ("coverage", "repro.core.coverage:CoverageSampler", "P4/P5",
+         "Theorem 5 over any coverable index (pass index=...)",
+         ("index", "backend", "rng")),
+        ("coverage.kdtree", "repro.engine.factories:build_kdtree_coverage", "P4",
+         "Theorem 5 over a kd-tree: O(n^(1-1/d) + s) rectangle sampling",
+         ("points", "weights", "rng")),
+        ("coverage.quadtree", "repro.engine.factories:build_quadtree_coverage", "P4",
+         "Theorem 5 over a quadtree (clustered point sets)",
+         ("points", "weights", "rng")),
+        ("coverage.rangetree", "repro.engine.factories:build_rangetree_coverage", "P4",
+         "Theorem 5 over a range tree: O(log^d n + s) rectangle sampling",
+         ("points", "weights", "rng")),
+        ("coverage.halfplane", "repro.engine.factories:build_halfplane_coverage", "P11",
+         "Theorem 5 over the convex-layer halfplane index",
+         ("points", "weights", "rng")),
+        ("complement.approx", "repro.engine.factories:build_complement_approx", "P5",
+         "§6 approximate covers for range-complement sampling",
+         ("keys", "weights", "rng")),
+        ("complement.precomputed", "repro.engine.factories:build_complement_precomputed",
+         "P5", "§6 with per-node precomputed acceptance tables",
+         ("keys", "weights", "rng")),
+        # -- P6/P7: set union, fair near neighbor --------------------------
+        ("setunion", "repro.core.set_union:SetUnionSampler", "P6",
+         "Theorem 8: O(n) space, O(g log^2 n) expected query",
+         ("family", "rng")),
+        ("setunion.naive", "repro.core.naive:NaiveSetUnionSampler", "P6",
+         "materialise-the-union baseline, Θ(Σ|S_i|) per query",
+         ("family", "rng")),
+        ("fair_nn", "repro.apps.fair_nn:FairNearNeighbor", "P7",
+         "uniform independent r-near neighbors via shifted grids + §7",
+         ("points", "radius", "rng")),
+        # -- dynamic extensions --------------------------------------------
+        ("dynamic.fenwick", "repro.core.dynamic:FenwickDynamicSampler", "P10",
+         "O(log n) insert/delete/update/sample over a Fenwick tree",
+         ("rng",)),
+        ("dynamic.bucket", "repro.core.dynamic:BucketDynamicSampler", "P10",
+         "O(1) amortised updates via power-of-two buckets + rejection",
+         ("rng",)),
+        ("dynamic.approx", "repro.core.approximate:ApproximateDynamicSampler", "P14",
+         "Direction 4: ε-approximate probabilities, O(1) updates",
+         ("epsilon", "rng")),
+        # -- external-memory set sampling ----------------------------------
+        ("em.setpool", "repro.em.sample_pool:SamplePoolSetSampler", "§8",
+         "EM set sampling with one refillable sample pool",
+         ("values", "block_size", "memory_blocks", "rng")),
+        ("em.setpool.deamortized", "repro.em.deamortized:DeamortizedSamplePoolSetSampler",
+         "§8", "worst-case-I/O variant: incremental background refills",
+         ("values", "block_size", "memory_blocks", "rng")),
+        ("em.naive", "repro.em.sample_pool:NaiveEMSetSampler", "§8",
+         "one random block I/O per sample (the baseline)",
+         ("values", "block_size", "memory_blocks", "rng")),
+        # -- applications --------------------------------------------------
+        ("table", "repro.apps.table:SampledTable", "app",
+         "row-store facade: sample_where over indexed columns",
+         ("rows", "rng")),
+    ]
+    for key, target, problem, summary, params in entries:
+        registry.register(key, target, problem=problem, summary=summary,
+                          params=tuple(params))
+
+
+#: The process-wide registry every factory call goes through.
+REGISTRY = SamplerRegistry()
+_populate(REGISTRY)
+
+
+def build(spec: str, **params: Any) -> Any:
+    """Construct the sampler registered under ``spec`` (module-level sugar)."""
+    return REGISTRY.build(spec, **params)

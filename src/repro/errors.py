@@ -19,8 +19,15 @@ class InvalidWeightError(BuildError):
     """A sampling weight was zero, negative, NaN, or infinite."""
 
 
-class EmptyQueryError(IQSError):
-    """The query predicate selects no elements, so no sample exists."""
+class EmptyQueryError(IQSError, ValueError):
+    """The query predicate selects no elements, so no sample exists.
+
+    Also a :class:`ValueError`: an inverted interval (``x > y``) or any
+    other predicate selecting nothing makes the requested sample
+    undefined, and every structure signals it the same way — callers can
+    uniformly guard a query with ``except ValueError`` (invalid sample
+    sizes raise plain :class:`ValueError` through the same check).
+    """
 
 
 class SampleBudgetExceededError(IQSError):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.apps.workloads import zipf_weights
-from repro.core.alias import AliasSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
 
 
@@ -19,8 +19,10 @@ def run(quick: bool = False) -> ExperimentResult:
     for n in sizes:
         weights = zipf_weights(n, alpha=1.0, rng=1)
         items = list(range(n))
-        build_seconds = time_per_call(lambda: AliasSampler(items, weights, rng=2), repeats=3)
-        sampler = AliasSampler(items, weights, rng=3)
+        build_seconds = time_per_call(
+            lambda: build("alias", items=items, weights=weights, rng=2), repeats=3
+        )
+        sampler = build("alias", items=items, weights=weights, rng=3)
         sample_seconds = time_per_call(lambda: sampler.sample_many(batch), repeats=5)
         per_sample = sample_seconds / batch
         result.add_row(n, build_seconds * 1e3, per_sample * 1e9, 1.0 / per_sample)

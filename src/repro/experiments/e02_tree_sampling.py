@@ -2,15 +2,15 @@
 
 from __future__ import annotations
 
-import random
-
-from repro.core.tree_sampling import FlatTreeSampler, Tree, TreeSampler
+from repro.core.tree_sampling import Tree
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
+from repro.substrates.rng import ensure_rng
 
 
 def random_tree(num_leaves: int, fanout: int, seed: int) -> Tree:
     """A random ``fanout``-ary tree with skewed leaf weights."""
-    rng = random.Random(seed)
+    rng = ensure_rng(seed)
     tree = Tree()
     root = tree.add_root()
     internal = [root]
@@ -41,8 +41,8 @@ def run(quick: bool = False) -> ExperimentResult:
     sizes = [2_000, 20_000] if not quick else [500, 2_000]
     for num_leaves in sizes:
         tree = random_tree(num_leaves, fanout=3, seed=7)
-        walker = TreeSampler(tree, rng=8)
-        flat = FlatTreeSampler(tree, rng=9)
+        walker = build("tree.topdown", tree=tree, rng=8)
+        flat = build("tree.flat", tree=tree, rng=9)
         for s in (1, 16, 256):
             walk_seconds = time_per_call(lambda: walker.sample_many(tree.root, s), repeats=5)
             flat_seconds = time_per_call(lambda: flat.sample_many(tree.root, s), repeats=5)

@@ -9,12 +9,7 @@ tiny result sizes.
 from __future__ import annotations
 
 from repro.apps.workloads import distinct_uniform_reals, interval_with_selectivity, zipf_weights
-from repro.core.naive import NaiveRangeSampler
-from repro.core.range_sampler import (
-    AliasAugmentedRangeSampler,
-    ChunkedRangeSampler,
-    TreeWalkRangeSampler,
-)
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
 
 
@@ -37,10 +32,10 @@ def run(quick: bool = False) -> ExperimentResult:
     s = 16
     keys = distinct_uniform_reals(n, rng=1)
     weights = zipf_weights(n, alpha=0.8, rng=2)
-    naive = NaiveRangeSampler(keys, weights, rng=3)
-    treewalk = TreeWalkRangeSampler(keys, weights, rng=7)
-    lemma2 = AliasAugmentedRangeSampler(keys, weights, rng=4)
-    theorem3 = ChunkedRangeSampler(keys, weights, rng=5)
+    naive = build("range.naive", keys=keys, weights=weights, rng=3)
+    treewalk = build("range.treewalk", keys=keys, weights=weights, rng=7)
+    lemma2 = build("range.lemma2", keys=keys, weights=weights, rng=4)
+    theorem3 = build("range.chunked", keys=keys, weights=weights, rng=5)
     for selectivity in (0.001, 0.01, 0.1, 0.5):
         x, y = interval_with_selectivity(keys, selectivity, rng=6)
         result_size = sum(1 for key in keys if x <= key <= y)

@@ -4,12 +4,7 @@ from __future__ import annotations
 
 import math
 
-from repro.core.naive import NaiveRangeSampler
-from repro.core.range_sampler import (
-    AliasAugmentedRangeSampler,
-    ChunkedRangeSampler,
-    TreeWalkRangeSampler,
-)
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult
 
 
@@ -31,10 +26,10 @@ def run(quick: bool = False) -> ExperimentResult:
     for exponent in exponents:
         n = 1 << exponent
         keys = [float(i) for i in range(n)]
-        lemma2 = AliasAugmentedRangeSampler(keys).space_words()
-        theorem3 = ChunkedRangeSampler(keys).space_words()
-        treewalk = TreeWalkRangeSampler(keys).space_words()
-        naive = NaiveRangeSampler(keys).space_words()
+        lemma2 = build("range.lemma2", keys=keys).space_words()
+        theorem3 = build("range.chunked", keys=keys).space_words()
+        treewalk = build("range.treewalk", keys=keys).space_words()
+        naive = build("range.naive", keys=keys).space_words()
         result.add_row(
             n,
             math.log2(n),

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 
 from repro.apps.workloads import uniform_points, zipf_weights
-from repro.core.coverage import CoverageSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
 from repro.substrates.kdtree import KDTree
 from repro.substrates.quadtree import QuadTree
@@ -35,8 +35,8 @@ def run(quick: bool = False) -> ExperimentResult:
         weights = zipf_weights(n, alpha=0.5, rng=2)
         kd = KDTree(points, weights, leaf_size=8)
         quad = QuadTree(points, weights, leaf_size=8)
-        sampler = CoverageSampler(kd, rng=3)
-        quad_sampler = CoverageSampler(quad, rng=4)
+        sampler = build("coverage", index=kd, rng=3)
+        quad_sampler = build("coverage", index=quad, rng=4)
         iqs_seconds = time_per_call(lambda: sampler.sample(rect, s), repeats=5)
 
         def report_then_sample():

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 
 from repro.apps.workloads import uniform_points, zipf_weights
-from repro.core.coverage import CoverageSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
 from repro.substrates.kdtree import KDTree
 from repro.substrates.rangetree import RangeTree
@@ -34,8 +34,8 @@ def run(quick: bool = False) -> ExperimentResult:
         weights = zipf_weights(n, alpha=0.5, rng=2)
         range_tree = RangeTree(points, weights)
         kd = KDTree(points, weights, leaf_size=8)
-        rt_sampler = CoverageSampler(range_tree, rng=3)
-        kd_sampler = CoverageSampler(kd, rng=4)
+        rt_sampler = build("coverage", index=range_tree, rng=3)
+        kd_sampler = build("coverage", index=kd, rng=4)
         rt_seconds = time_per_call(lambda: rt_sampler.sample(rect, s), repeats=5)
         kd_seconds = time_per_call(lambda: kd_sampler.sample(rect, s), repeats=5)
         result.add_row(

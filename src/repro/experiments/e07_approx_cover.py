@@ -4,11 +4,8 @@ from __future__ import annotations
 
 import math
 
-from repro.core.approx_coverage import (
-    ApproxCoverSampler,
-    ComplementRangeIndex,
-    PrecomputedCoverSampler,
-)
+from repro.core.approx_coverage import ComplementRangeIndex
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
 
 
@@ -35,8 +32,8 @@ def run(quick: bool = False) -> ExperimentResult:
         keys = [float(i) for i in range(n)]
         index = ComplementRangeIndex(keys)
         query = (n * 0.23, n * 0.77)
-        on_the_fly = ApproxCoverSampler(index, rng=1)
-        precomputed = PrecomputedCoverSampler(index, rng=2)
+        on_the_fly = build("complement.approx", index=index, rng=1)
+        precomputed = build("complement.precomputed", index=index, rng=2)
 
         draws = 2000
         on_the_fly.total_rejections = 0

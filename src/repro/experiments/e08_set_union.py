@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 from repro.apps.workloads import overlapping_sets
-from repro.core.naive import NaiveSetUnionSampler
-from repro.core.set_union import SetUnionSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
 
 
@@ -28,8 +27,8 @@ def run(quick: bool = False) -> ExperimentResult:
     for set_size in scales:
         universe = set_size * 3
         family = overlapping_sets(10, set_size, universe, rng=1)
-        sampler = SetUnionSampler(family, rng=2, rebuild_after=0)
-        naive = NaiveSetUnionSampler(family, rng=3)
+        sampler = build("setunion", family=family, rng=2, rebuild_after=0)
+        naive = build("setunion.naive", family=family, rng=3)
         group = list(range(g))
 
         thm8_seconds = time_per_call(lambda: sampler.sample(group), repeats=7)

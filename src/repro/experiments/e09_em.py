@@ -7,10 +7,9 @@ bound ``min(s, (s/B)·log_{M/B}(n/B))`` and the EM B-tree range sampler.
 
 from __future__ import annotations
 
-from repro.em.em_range_sampler import EMRangeSampler
 from repro.em.lower_bound import set_sampling_lower_bound
 from repro.em.model import EMMachine
-from repro.em.sample_pool import NaiveEMSetSampler, SamplePoolSetSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult
 
 
@@ -28,7 +27,7 @@ def run(quick: bool = False) -> ExperimentResult:
     rounds = 6
     for s in (32, 128, 512):
         pool_machine = EMMachine(block_size=B, memory_blocks=memory_blocks)
-        pool = SamplePoolSetSampler(pool_machine, list(range(n)), rng=1)
+        pool = build("em.setpool", machine=pool_machine, values=list(range(n)), rng=1)
         pool.query(s)  # warm
         pool_machine.drop_cache()
         start = pool_machine.stats.total
@@ -40,7 +39,7 @@ def run(quick: bool = False) -> ExperimentResult:
         pool_per_query = (pool_machine.stats.total - start) / pool_rounds
 
         naive_machine = EMMachine(block_size=B, memory_blocks=memory_blocks)
-        naive = NaiveEMSetSampler(naive_machine, list(range(n)), rng=2)
+        naive = build("em.naive", machine=naive_machine, values=list(range(n)), rng=2)
         naive_machine.drop_cache()
         start = naive_machine.stats.total
         for _ in range(rounds):
@@ -48,7 +47,12 @@ def run(quick: bool = False) -> ExperimentResult:
         naive_per_query = (naive_machine.stats.total - start) / rounds
 
         range_machine = EMMachine(block_size=B, memory_blocks=memory_blocks)
-        ranger = EMRangeSampler(range_machine, [float(i) for i in range(n)], rng=3)
+        ranger = build(
+            "range.em",
+            machine=range_machine,
+            values=[float(i) for i in range(n)],
+            rng=3,
+        )
         ranger.query(0.0, float(n - 1), s)  # warm pools
         range_machine.drop_cache()
         start = range_machine.stats.total

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import random
-
-from repro.core.alias import AliasSampler
-from repro.core.dynamic import BucketDynamicSampler, FenwickDynamicSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
+from repro.substrates.rng import ensure_rng
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -25,13 +23,13 @@ def run(quick: bool = False) -> ExperimentResult:
         ],
     )
     sizes = [1 << 10, 1 << 13] if quick else [1 << 10, 1 << 13, 1 << 16]
-    rng = random.Random(1)
+    rng = ensure_rng(1)
     for n in sizes:
         weights = [1.0 + rng.random() * 100 for _ in range(n)]
 
-        fenwick = FenwickDynamicSampler(rng=2, initial_capacity=n)
+        fenwick = build("dynamic.fenwick", rng=2, initial_capacity=n)
         fenwick_handles = [fenwick.insert(i, weights[i]) for i in range(n)]
-        bucket = BucketDynamicSampler(rng=3)
+        bucket = build("dynamic.bucket", rng=3)
         bucket_handles = [bucket.insert(i, weights[i]) for i in range(n)]
 
         def fenwick_update():
@@ -43,7 +41,9 @@ def run(quick: bool = False) -> ExperimentResult:
             bucket.update_weight(handle, 1.0 + rng.random() * 100)
 
         items = list(range(n))
-        alias_rebuild = time_per_call(lambda: AliasSampler(items, weights), repeats=3)
+        alias_rebuild = time_per_call(
+            lambda: build("alias", items=items, weights=weights), repeats=3
+        )
         result.add_row(
             n,
             time_per_call(fenwick_update, repeats=5, inner=200) * 1e6,

@@ -5,8 +5,7 @@ from __future__ import annotations
 import statistics
 
 from repro.apps.estimation import failure_indicators
-from repro.core.dependent import DependentRangeSampler
-from repro.core.range_sampler import ChunkedRangeSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult
 
 
@@ -36,7 +35,7 @@ def run(quick: bool = False) -> ExperimentResult:
 
     iqs_counts = []
     for trial in range(trials):
-        sampler = ChunkedRangeSampler(keys, rng=100 + trial)
+        sampler = build("range.chunked", keys=keys, rng=100 + trial)
         failures = failure_indicators(
             lambda count: sampler.sample(0.0, n - 1.0, count),
             lambda value: value < n / 2,
@@ -49,7 +48,7 @@ def run(quick: bool = False) -> ExperimentResult:
 
     dependent_counts = []
     for trial in range(trials):
-        sampler = DependentRangeSampler(keys, rng=200 + trial)
+        sampler = build("range.dependent", keys=keys, rng=200 + trial)
         failures = failure_indicators(
             lambda count: sampler.sample_without_replacement(0.0, n - 1.0, count),
             lambda value: value < n / 2,

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from repro.apps.fair_nn import FairNearNeighbor
 from repro.apps.workloads import clustered_points
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
 from repro.stats.tests import chi_square_weighted_pvalue
 
@@ -26,7 +26,7 @@ def run(quick: bool = False) -> ExperimentResult:
     radius = 0.05
     for n in sizes:
         points = clustered_points(n, 2, clusters=10, spread=0.05, rng=1)
-        fair = FairNearNeighbor(points, radius=radius, num_grids=2, rng=2)
+        fair = build("fair_nn", points=points, radius=radius, num_grids=2, rng=2)
         query = points[0]
         ball = fair.near_points(query)
 

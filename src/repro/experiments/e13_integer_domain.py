@@ -8,11 +8,10 @@ endpoint search dominates the query, so the saving is visible directly.
 from __future__ import annotations
 
 import math
-import random
 
-from repro.core.integer_range import IntegerRangeSampler
-from repro.core.range_sampler import ChunkedRangeSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
+from repro.substrates.rng import ensure_rng
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -31,13 +30,13 @@ def run(quick: bool = False) -> ExperimentResult:
             "float_query_us",
         ],
     )
-    rng = random.Random(1)
+    rng = ensure_rng(1)
     universe_bits = 30
     sizes = [1 << 10, 1 << 14] if quick else [1 << 10, 1 << 14, 1 << 17]
     for n in sizes:
         keys = sorted(rng.sample(range(1 << universe_bits), n))
-        integer = IntegerRangeSampler(keys, rng=2, universe_bits=universe_bits)
-        floating = ChunkedRangeSampler([float(k) for k in keys], rng=3)
+        integer = build("range.integer", keys=keys, rng=2, universe_bits=universe_bits)
+        floating = build("range.chunked", keys=[float(k) for k in keys], rng=3)
         x, y = keys[n // 5], keys[4 * n // 5]
 
         yfast_span = time_per_call(lambda: integer.span_of(x, y), repeats=5, inner=50)

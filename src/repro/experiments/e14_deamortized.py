@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from repro.em.deamortized import DeamortizedSamplePoolSetSampler
 from repro.em.model import EMMachine
-from repro.em.sample_pool import SamplePoolSetSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult
 
 
@@ -27,7 +26,7 @@ def run(quick: bool = False) -> ExperimentResult:
     queries = (4 * n) // s  # several full pool cycles
 
     plain_machine = EMMachine(block_size=B, memory_blocks=memory_blocks)
-    plain = SamplePoolSetSampler(plain_machine, list(range(n)), rng=1)
+    plain = build("em.setpool", machine=plain_machine, values=list(range(n)), rng=1)
     worst_plain = 0
     plain_machine.drop_cache()
     start_total = plain_machine.stats.total
@@ -44,7 +43,9 @@ def run(quick: bool = False) -> ExperimentResult:
     )
 
     de_machine = EMMachine(block_size=B, memory_blocks=memory_blocks)
-    deamortized = DeamortizedSamplePoolSetSampler(de_machine, list(range(n)), rng=2)
+    deamortized = build(
+        "em.setpool.deamortized", machine=de_machine, values=list(range(n)), rng=2
+    )
     worst_de = 0
     de_machine.drop_cache()
     start_total = de_machine.stats.total

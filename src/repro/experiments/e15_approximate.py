@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 import math
-import random
 
-from repro.core.approximate import ApproximateDynamicSampler
-from repro.core.dynamic import FenwickDynamicSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
+from repro.substrates.rng import ensure_rng
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -26,11 +25,11 @@ def run(quick: bool = False) -> ExperimentResult:
         ],
     )
     n = 2_000 if quick else 10_000
-    rng = random.Random(1)
+    rng = ensure_rng(1)
     weights = [math.exp(rng.uniform(0, 8)) for _ in range(n)]  # 3000x spread
     total = sum(weights)
 
-    exact = FenwickDynamicSampler(rng=2, initial_capacity=n)
+    exact = build("dynamic.fenwick", rng=2, initial_capacity=n)
     exact_handles = [exact.insert(i, weights[i]) for i in range(n)]
 
     def exact_update():
@@ -39,7 +38,7 @@ def run(quick: bool = False) -> ExperimentResult:
     exact_update_seconds = time_per_call(exact_update, repeats=5, inner=100)
 
     for epsilon in (0.01, 0.1, 0.3):
-        approx = ApproximateDynamicSampler(epsilon=epsilon, rng=3)
+        approx = build("dynamic.approx", epsilon=epsilon, rng=3)
         handles = [approx.insert(i, weights[i]) for i in range(n)]
 
         # The exact probability the quantized structure assigns to each

@@ -7,11 +7,9 @@ forces a full rebuild) under a mixed update/query workload.
 
 from __future__ import annotations
 
-import random
-
-from repro.core.dynamic_range import DynamicRangeSampler
-from repro.core.range_sampler import ChunkedRangeSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
+from repro.substrates.rng import ensure_rng
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -32,14 +30,16 @@ def run(quick: bool = False) -> ExperimentResult:
     sizes = [1 << 10, 1 << 13] if quick else [1 << 10, 1 << 13, 1 << 16]
     s = 16
     for n in sizes:
-        rng = random.Random(1)
+        rng = ensure_rng(1)
         keys = sorted(rng.sample(range(10 * n), n))
         weights = [1.0 + rng.random() * 9 for _ in range(n)]
 
-        treap = DynamicRangeSampler(rng=2)
+        treap = build("range.dynamic", rng=2)
         for key, weight in zip(keys, weights):
             treap.insert(float(key), weight)
-        static = ChunkedRangeSampler([float(k) for k in keys], weights, rng=3)
+        static = build(
+            "range.chunked", keys=[float(k) for k in keys], weights=weights, rng=3
+        )
         x, y = float(keys[n // 10]), float(keys[9 * n // 10])
 
         spare_keys = iter(range(10 * n, 20 * n))
@@ -58,7 +58,10 @@ def run(quick: bool = False) -> ExperimentResult:
         treap_query = time_per_call(lambda: treap.sample(x, y, s), repeats=5)
         static_query = time_per_call(lambda: static.sample(x, y, s), repeats=5)
         static_rebuild = time_per_call(
-            lambda: ChunkedRangeSampler([float(k) for k in keys], weights), repeats=3
+            lambda: build(
+                "range.chunked", keys=[float(k) for k in keys], weights=weights
+            ),
+            repeats=3,
         )
         result.add_row(
             n,

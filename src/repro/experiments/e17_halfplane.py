@@ -6,11 +6,10 @@ not |S_q| — and the resulting sampling-vs-reporting gap.
 
 from __future__ import annotations
 
-import random
-
-from repro.core.coverage import CoverageSampler
+from repro.engine import build
 from repro.experiments.runner import ExperimentResult, time_per_call
 from repro.substrates.halfplane import HalfplaneIndex
+from repro.substrates.rng import ensure_rng
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -34,10 +33,10 @@ def run(quick: bool = False) -> ExperimentResult:
     sizes = [1_000, 4_000] if quick else [1_000, 4_000, 16_000]
     s = 16
     for n in sizes:
-        rng = random.Random(1)
+        rng = ensure_rng(1)
         points = [(rng.uniform(-10, 10), rng.uniform(-10, 10)) for _ in range(n)]
         index = HalfplaneIndex(points)
-        sampler = CoverageSampler(index, rng=2)
+        sampler = build("coverage", index=index, rng=2)
         # A selective halfplane (≈15 % of the points): inner layers are
         # quickly fully above the line, so the walk stops early.
         query = (0.2, -6.0)

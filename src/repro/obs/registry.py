@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import deque
-from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 
 class Counter:

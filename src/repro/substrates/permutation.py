@@ -13,7 +13,6 @@ element is its position in the permuted sequence Π.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Hashable, Iterable, List, Sequence, TypeVar
 
 from repro.substrates.rng import RNGLike, ensure_rng

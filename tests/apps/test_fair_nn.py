@@ -1,7 +1,5 @@
 """Unit tests for fair near-neighbor search (Benefit 2, §7)."""
 
-import math
-
 import pytest
 
 from repro.apps.fair_nn import FairNearNeighbor, euclidean

@@ -1,7 +1,6 @@
 """Unit tests for the SampledTable facade (duplicates, predicates, weights)."""
 
 import random
-from collections import Counter
 
 import pytest
 

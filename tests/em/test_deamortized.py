@@ -1,7 +1,5 @@
 """Unit tests for the de-amortized EM sample pool (§8 remark)."""
 
-from collections import Counter
-
 import pytest
 
 from repro.em.deamortized import DeamortizedSamplePoolSetSampler

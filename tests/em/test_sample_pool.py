@@ -1,7 +1,5 @@
 """Unit tests for EM set sampling: sample pool vs naive (§8)."""
 
-from collections import Counter
-
 import pytest
 
 from repro.em.model import EMMachine

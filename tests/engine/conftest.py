@@ -1,0 +1,17 @@
+"""Fixtures for the engine suite."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def metrics_on():
+    saved = obs.ENABLED
+    obs.enable()
+    obs.reset()
+    try:
+        yield obs
+    finally:
+        obs.reset()
+        (obs.enable if saved else obs.disable)()

@@ -1,0 +1,50 @@
+"""The ``python -m repro engine`` subcommands, end to end."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+
+
+class TestEngineList:
+    def test_lists_every_spec(self):
+        completed = run_cli("engine", "list")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        for spec in ("alias", "range.chunked", "setunion", "fair_nn", "em.setpool"):
+            assert spec in completed.stdout
+
+
+class TestEngineRun:
+    def test_runs_batched_demo_queries(self):
+        completed = run_cli(
+            "engine", "run", "range.chunked", "--requests", "5", "--s", "3"
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "range.chunked" in completed.stdout
+        assert "5" in completed.stdout
+
+    def test_thread_backend(self):
+        completed = run_cli(
+            "engine", "run", "alias", "--requests", "3", "--backend", "thread"
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+
+    def test_unknown_spec_fails_with_hint(self):
+        completed = run_cli("engine", "run", "range.chunkd")
+        assert completed.returncode != 0
+        combined = completed.stdout + completed.stderr
+        assert "range.chunked" in combined

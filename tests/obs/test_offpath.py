@@ -12,8 +12,6 @@ Three contracts when ``REPRO_METRICS`` is off (the default):
 
 import time
 
-import pytest
-
 from repro import obs
 from repro.core.alias import AliasSampler, alias_draw
 from repro.core.range_sampler import (
