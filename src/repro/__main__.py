@@ -92,7 +92,14 @@ def _engine_list() -> int:
 
 
 def _engine_run(
-    spec: str, requests: int, s: int, backend: str, seed: int, n: int
+    spec: str,
+    requests: int,
+    s: int,
+    backend: str,
+    seed: int,
+    n: int,
+    shards: int,
+    workers: int | None,
 ) -> int:
     from repro.engine import QueryRequest, SamplingEngine, demo_build
 
@@ -101,12 +108,26 @@ def _engine_run(
         QueryRequest(op=template.op, args=template.args, s=s)
         for _ in range(requests)
     ]
-    engine = SamplingEngine(backend=backend, seed=seed)
-    results = engine.run(sampler, batch)
+    engine = SamplingEngine(
+        backend=backend, seed=seed, shards=shards, max_workers=workers
+    )
+    try:
+        if backend == "process":
+            # Workers rebuild the same deterministic demo structure from
+            # the ("demo", spec, n) token and keep it resident.
+            results = engine.run_token(("demo", spec, n), batch)
+        else:
+            results = engine.run(sampler, batch)
+    except TypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        engine.close()
     failures = [r for r in results if not r.ok]
     described = sampler.describe()
     print(f"spec:     {spec} ({described.get('class', type(sampler).__name__)})")
-    print(f"backend:  {backend}  seed: {seed}  requests: {requests}  s: {s}")
+    extra = f"  shards: {shards}" if backend == "shard" else ""
+    print(f"backend:  {backend}  seed: {seed}  requests: {requests}  s: {s}{extra}")
     elapsed = sum(r.elapsed_s or 0.0 for r in results)
     print(f"executed: {len(results)} requests in {elapsed:.4f}s sampler time")
     for index, result in enumerate(results[:3]):
@@ -188,13 +209,23 @@ def main(argv=None) -> int:
         "--s", type=int, default=4, help="samples per request (default: 4)"
     )
     run_parser.add_argument(
-        "--backend", choices=("serial", "thread"), default="serial"
+        "--backend", choices=("serial", "thread", "process", "shard"),
+        default="serial",
     )
     run_parser.add_argument(
         "--seed", type=int, default=42, help="engine master seed (default: 42)"
     )
     run_parser.add_argument(
         "--n", type=int, default=64, help="demo structure size (default: 64)"
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for --backend shard (default: 4)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="pool width for thread/process/shard backends "
+             "(default: min(8, cpu_count))",
     )
     obs_parser = subparsers.add_parser(
         "obs", help="run a representative workload and dump the metrics snapshot"
@@ -218,7 +249,8 @@ def main(argv=None) -> int:
         if args.engine_command == "list":
             return _engine_list()
         return _engine_run(
-            args.spec, args.requests, args.s, args.backend, args.seed, args.n
+            args.spec, args.requests, args.s, args.backend, args.seed, args.n,
+            args.shards, args.workers,
         )
     if args.command == "obs":
         return _obs_dump(args.format, args.out, args.no_workload)

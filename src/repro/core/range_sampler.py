@@ -188,6 +188,10 @@ class RangeSamplerBase(RangeQueryMixin):
         uniform = self._all_weights_equal
         if rng is None:
             rng = getattr(self, "_rng", None)
+        else:
+            # Normalise a seed once, before the rejection loop: re-seeding
+            # per attempt would redraw the same element forever.
+            rng = ensure_rng(rng)
         if uniform and s > population // 2:
             from repro.core.schemes import uniform_indices_without_replacement
 

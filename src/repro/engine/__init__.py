@@ -22,7 +22,12 @@ them all:
 * :class:`~repro.engine.executor.SamplingEngine` — batched executor with
   per-request independent RNG streams (seed-spawning via
   :func:`repro.substrates.rng.derive_seed`) and pluggable serial /
-  thread-pool backends.
+  thread / process / shard backends. The process backend ships
+  picklable ``(spec, params)`` build tokens to resident pool workers
+  (:mod:`repro.engine.worker`); the shard backend partitions a range
+  structure's key space and splits each request's budget multinomially
+  (:class:`~repro.engine.shard.ShardedSampler`, re-exported lazily
+  here).
 
 Quickstart::
 
@@ -40,7 +45,7 @@ table.
 """
 
 from repro.engine.demo import demo_build
-from repro.engine.executor import BACKENDS, SamplingEngine
+from repro.engine.executor import BACKENDS, SamplingEngine, spec_token
 from repro.engine.protocol import (
     EngineOp,
     EngineSampler,
@@ -61,6 +66,19 @@ __all__ = [
     "SamplerEntry",
     "SamplerRegistry",
     "SamplingEngine",
+    "ShardedSampler",
     "build",
     "demo_build",
+    "spec_token",
 ]
+
+
+def __getattr__(name):
+    # ShardedSampler pulls in the core range-sampler stack, so it is
+    # resolved lazily — ``import repro.engine`` stays cheap (the same
+    # policy as the registry's dotted-path targets).
+    if name == "ShardedSampler":
+        from repro.engine.shard import ShardedSampler
+
+        return ShardedSampler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

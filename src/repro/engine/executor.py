@@ -8,47 +8,74 @@ list of :class:`~repro.engine.protocol.QueryResult`:
   seed runs on ``derive_seed(engine_seed, i)`` (stateless SplitMix64
   spawning in :mod:`repro.substrates.rng`), so every request draws from
   its own stream, the whole batch is a pure function of the engine seed,
-  and the serial and thread backends produce identical results for
-  thread-safe samplers. Construct with ``seed=None`` to instead let
-  requests consume the sampler's own instance stream serially (the
-  classic single-stream behaviour).
+  and backends that preserve per-request streams produce identical
+  results. Construct with ``seed=None`` to instead let requests consume
+  the sampler's own instance stream serially (the classic single-stream
+  behaviour).
 * **Pluggable backends.** ``"serial"`` executes in submission order;
   ``"thread"`` fans out over a :class:`~concurrent.futures.ThreadPoolExecutor`
   — profitable when queries spend their time in NumPy batch kernels
-  (which drop the GIL) and the sampler declares ``engine_thread_safe``
-  (the §3.2/§4 range structures do; their
-  :class:`~repro.core.plan_cache.QueryPlanCache` is lock-protected).
-  Samplers without per-call rng support are executed under the protocol's
-  swap lock, which keeps the thread backend correct but serialized.
-* **Error capture.** Per-request failures (empty interval, bad ``s``)
-  are caught into ``result.error`` instead of poisoning the batch;
-  ``errors="raise"`` restores fail-fast behaviour.
+  (which drop the GIL); ``"process"`` fans request chunks over a
+  persistent :class:`~concurrent.futures.ProcessPoolExecutor` whose
+  workers rebuild samplers from picklable build tokens once and keep
+  them resident (:mod:`repro.engine.worker`) — the backend for CPU-bound
+  scalar samplers the GIL serializes; ``"shard"`` partitions a range
+  structure's key space into ``shards`` contiguous pieces and splits
+  each request's ``s`` multinomially across them
+  (:mod:`repro.engine.shard`). docs/ARCHITECTURE.md has the backend
+  comparison table.
+* **Error capture.** Per-request failures (empty interval, bad ``s``, a
+  worker process dying mid-batch) are caught into ``result.error``
+  instead of poisoning the batch; ``errors="raise"`` restores fail-fast
+  behaviour.
 * **Observability.** ``engine.batches`` / ``engine.requests`` /
-  ``engine.request_errors`` counters and the ``engine.run`` span feed
-  :mod:`repro.obs` when metrics are enabled.
+  ``engine.request_errors`` / ``engine.worker_rebuilds`` /
+  ``engine.shards`` counters, the ``engine.shard_merge_us`` histogram,
+  and the ``engine.run`` span feed :mod:`repro.obs` when metrics are
+  enabled.
 """
 
 from __future__ import annotations
 
+import math
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from difflib import get_close_matches
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.engine.protocol import QueryRequest, QueryResult, Sampler
 from repro.engine.registry import build
+from repro.errors import WorkerCrashedError
 from repro.substrates.rng import DEFAULT_SEED, derive_seed, ensure_rng
 
-__all__ = ["BACKENDS", "SamplingEngine"]
+__all__ = ["BACKENDS", "SamplingEngine", "spec_token"]
 
 #: Supported executor backends.
-BACKENDS = ("serial", "thread")
+BACKENDS = ("serial", "thread", "process", "shard")
+
+#: Default shard count for the shard backend when none is given.
+DEFAULT_SHARDS = 4
 
 _BATCHES = obs.counter("engine.batches", "SamplingEngine.run invocations")
 _REQUESTS = obs.counter("engine.requests", "Requests executed by the engine")
 _ERRORS = obs.counter(
     "engine.request_errors", "Requests whose execution raised (captured)"
 )
+_REBUILDS = obs.counter(
+    "engine.worker_rebuilds",
+    "Sampler rebuilds performed by process-backend workers",
+)
+
+
+def spec_token(spec: str, params: Mapping[str, Any]) -> Tuple[Any, ...]:
+    """The picklable build token for ``build(spec, **params)``.
+
+    Parameter items are sorted by name so equal dicts yield equal tokens
+    — and therefore hit the same worker-resident sampler cache entry.
+    """
+    return ("spec", spec, tuple(sorted(params.items())))
 
 
 class SamplingEngine:
@@ -57,9 +84,9 @@ class SamplingEngine:
     Parameters
     ----------
     backend:
-        ``"serial"`` or ``"thread"``.
+        ``"serial"``, ``"thread"``, ``"process"``, or ``"shard"``.
     max_workers:
-        Thread-pool width (thread backend only); defaults to
+        Pool width (thread/process/shard backends); defaults to
         ``min(8, cpu_count)``.
     seed:
         Engine master seed for per-request stream spawning. ``None``
@@ -69,7 +96,12 @@ class SamplingEngine:
         execution semantics per sampler).
     errors:
         ``"capture"`` (default) stores per-request exceptions on the
-        result; ``"raise"`` propagates the first failure.
+        result; ``"raise"`` propagates the first failure (in submission
+        order for the fan-out backends).
+    shards:
+        Shard count for the shard backend (default
+        :data:`DEFAULT_SHARDS`); clamped to the structure's key count at
+        run time.
     """
 
     def __init__(
@@ -78,15 +110,29 @@ class SamplingEngine:
         max_workers: Optional[int] = None,
         seed: Any = None,
         errors: str = "capture",
+        shards: Optional[int] = None,
     ):
         if backend not in BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+            close = get_close_matches(str(backend), BACKENDS, n=3)
+            hint = (
+                f" (did you mean {', '.join(repr(c) for c in close)}?)"
+                if close
+                else ""
+            )
+            raise ValueError(
+                f"unknown backend {backend!r}{hint}; choose from {BACKENDS}"
+            )
         if errors not in ("capture", "raise"):
             raise ValueError(f"errors must be 'capture' or 'raise', got {errors!r}")
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if shards is not None and (
+            not isinstance(shards, int) or isinstance(shards, bool) or shards < 1
+        ):
+            raise ValueError(f"shards must be an int >= 1, got {shards!r}")
         self.backend = backend
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.shards = shards if shards is not None else DEFAULT_SHARDS
         if seed is False:
             self._seed: Optional[int] = None
         elif seed is None:
@@ -96,6 +142,7 @@ class SamplingEngine:
         else:
             raise TypeError(f"seed must be an int, None, or False, got {seed!r}")
         self._errors = errors
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     @property
     def seed(self) -> Optional[int]:
@@ -111,12 +158,39 @@ class SamplingEngine:
             for index, request in enumerate(requests)
         ]
 
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the process pool (idempotent; safe on broken pools)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "SamplingEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
     # ------------------------------------------------------------------
 
     def run(
         self, sampler: Sampler, requests: Iterable[QueryRequest]
     ) -> List[QueryResult]:
         """Execute ``requests`` against ``sampler``; results keep order."""
+        if self.backend == "process":
+            raise ValueError(
+                "the process backend executes picklable build tokens, not "
+                "already-built samplers; use run_spec(spec, params, requests) "
+                "or run_token(token, requests)"
+            )
         batch = list(requests)
         enabled = obs.ENABLED
         if enabled:
@@ -136,9 +210,54 @@ class SamplingEngine:
     def run_spec(
         self, spec: str, params: dict, requests: Iterable[QueryRequest]
     ) -> Tuple[Sampler, List[QueryResult]]:
-        """Build ``spec`` through the registry, run the batch, return both."""
+        """Build ``spec`` through the registry, run the batch, return both.
+
+        Under the process backend the batch executes against
+        worker-resident rebuilds of ``(spec, params)``; the locally built
+        sampler is returned for inspection and is byte-equivalent to the
+        workers' copies (registry construction is deterministic).
+        """
         sampler = build(spec, **params)
+        if self.backend == "process":
+            return sampler, self.run_token(spec_token(spec, params), requests)
         return sampler, self.run(sampler, requests)
+
+    def run_token(
+        self, token: Tuple[Any, ...], requests: Iterable[QueryRequest]
+    ) -> List[QueryResult]:
+        """Execute a batch against a build token on the process pool.
+
+        ``token`` is any :mod:`repro.engine.worker` build token —
+        normally :func:`spec_token`'s ``("spec", spec, params_items)``.
+        The token (and thus every build parameter) must be picklable.
+        Only meaningful for ``backend="process"``.
+        """
+        if self.backend != "process":
+            raise ValueError(
+                f"run_token requires backend='process', not {self.backend!r}"
+            )
+        try:
+            key = pickle.dumps(token)
+        except Exception as exc:
+            raise TypeError(
+                f"process-backend build token must be picklable "
+                f"(rng must be an int seed, params plain data): {exc}"
+            ) from exc
+        batch = list(requests)
+        enabled = obs.ENABLED
+        if enabled:
+            _BATCHES.inc()
+            _REQUESTS.add(len(batch))
+        jobs = list(zip(batch, self.seeds_for(batch)))
+        if enabled:
+            with obs.span(
+                "engine.run",
+                backend=self.backend,
+                requests=len(batch),
+                sampler=str(token[1]) if len(token) > 1 else "?",
+            ):
+                return self._dispatch_process(key, token, jobs)
+        return self._dispatch_process(key, token, jobs)
 
     # ------------------------------------------------------------------
 
@@ -148,6 +267,8 @@ class SamplingEngine:
         batch: List[QueryRequest],
         seeds: List[Optional[int]],
     ) -> List[QueryResult]:
+        if self.backend == "shard":
+            sampler = self._sharded_view(sampler)
         jobs = list(zip(batch, seeds))
         if self.backend == "thread" and len(jobs) > 1 and self.max_workers > 1:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
@@ -171,3 +292,119 @@ class SamplingEngine:
             if obs.ENABLED:
                 _ERRORS.inc()
             return QueryResult(request=request, values=None, seed=seed, error=exc)
+
+    # -- shard backend -------------------------------------------------
+
+    def _sharded_view(self, sampler: Sampler) -> Sampler:
+        """The K-shard view of ``sampler``, memoized on the instance."""
+        from repro.engine.shard import ShardedSampler
+
+        if isinstance(sampler, ShardedSampler):
+            return sampler
+        cache_key = (self.shards, self.max_workers)
+        views: Optional[Dict[Any, Any]] = getattr(
+            sampler, "_engine_shard_views", None
+        )
+        if views is not None and cache_key in views:
+            return views[cache_key]
+        view = ShardedSampler.from_sampler(
+            sampler, self.shards, max_workers=self.max_workers
+        )
+        try:
+            if views is None:
+                views = {}
+                sampler._engine_shard_views = views  # type: ignore[attr-defined]
+            views[cache_key] = view
+        except AttributeError:
+            pass  # slotted structure: rebuild per run
+        return view
+
+    # -- process backend -----------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _dispatch_process(
+        self,
+        key: bytes,
+        token: Tuple[Any, ...],
+        jobs: List[Tuple[QueryRequest, Optional[int]]],
+    ) -> List[QueryResult]:
+        """Chunked fan-out with crash recovery.
+
+        Phase 1 submits order-preserving chunks to the persistent pool
+        (the token rides along once per chunk; workers cache the built
+        sampler, so residency costs one build per worker). If a worker
+        dies the pool breaks and every unfinished chunk fails; phase 2
+        then retries each unresolved request individually on a fresh
+        pool, so one crashing request cannot poison its batchmates — the
+        crasher alone ends up with a
+        :class:`~repro.errors.WorkerCrashedError` envelope.
+        """
+        from repro.engine.worker import execute_chunk
+
+        results: List[Optional[QueryResult]] = [None] * len(jobs)
+        if jobs:
+            chunk_size = max(1, math.ceil(len(jobs) / (self.max_workers * 4)))
+            pool = self._ensure_pool()
+            submitted = []
+            broke = False
+            for start in range(0, len(jobs), chunk_size):
+                chunk = jobs[start:start + chunk_size]
+                try:
+                    future = pool.submit(execute_chunk, key, token, chunk)
+                except BrokenExecutor:
+                    broke = True
+                    break
+                submitted.append((start, chunk, future))
+            for start, chunk, future in submitted:
+                try:
+                    rebuilds, chunk_results = future.result()
+                except BrokenExecutor:
+                    broke = True
+                    continue
+                if obs.ENABLED and rebuilds:
+                    _REBUILDS.add(rebuilds)
+                results[start:start + len(chunk)] = chunk_results
+            if broke:
+                self._discard_pool()
+            # Phase 2: settle every request the broken pool left behind.
+            for index, (request, seed) in enumerate(jobs):
+                if results[index] is not None:
+                    continue
+                pool = self._ensure_pool()
+                try:
+                    rebuilds, (single,) = pool.submit(
+                        execute_chunk, key, token, [(request, seed)]
+                    ).result()
+                    if obs.ENABLED and rebuilds:
+                        _REBUILDS.add(rebuilds)
+                except BrokenExecutor as exc:
+                    self._discard_pool()
+                    single = QueryResult(
+                        request=request,
+                        values=None,
+                        seed=seed,
+                        error=WorkerCrashedError(
+                            f"process-backend worker died executing request "
+                            f"{index} (op {request.op!r}): {exc!r}"
+                        ),
+                    )
+                results[index] = single
+        out: List[QueryResult] = []
+        for result in results:
+            assert result is not None
+            if result.error is not None:
+                if self._errors == "raise":
+                    raise result.error
+                if obs.ENABLED:
+                    _ERRORS.inc()
+            out.append(result)
+        return out

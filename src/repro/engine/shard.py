@@ -1,0 +1,316 @@
+"""Key-space sharding for range samplers: the §4.1 split, scaled out.
+
+A range query over a sorted weighted point set decomposes by key-space
+shard exactly the way the paper decomposes it over a canonical cover
+(§4.1): the interval ``[x, y]`` meets each contiguous shard in a
+(possibly empty) sub-span, one weighted draw lands in shard ``j`` with
+probability ``W_j / W`` (``W_j`` = weight of shard ``j``'s sub-span,
+``W`` = total), and conditioned on landing there it follows the shard's
+own restricted distribution. Splitting the budget ``s`` multinomially
+across shards and drawing each quota independently therefore reproduces
+the unsharded output distribution *exactly* — the same
+distribution-preserving composition argument the GUS sampling algebra
+makes for partitioned samples, applied one level up. The merged result
+is exchangeable with the serial stream (identical multiset
+distribution), not byte-identical to it: the per-draw randomness is
+spent in a different order.
+
+:class:`ShardedSampler` is itself a
+:class:`~repro.core.range_sampler.RangeSamplerBase`, so it inherits
+``sample`` / ``sample_indices`` / ``sample_without_replacement`` and the
+engine protocol for free; only ``sample_span`` is reimplemented as
+*split, fan out, merge*. Determinism is stateless per request: one
+64-bit base is drawn from the request's stream, the multinomial split
+runs on ``derive_seed(base, 0)``, and shard ``j`` draws on
+``derive_seed(base, 1 + j)`` — so the merged output is a pure function
+of ``(structure, request seed, K)`` no matter how many worker threads
+execute the shards or in which order they finish.
+
+This module is imported lazily (by the executor's ``"shard"`` backend or
+by user code), never from ``repro.engine``'s ``__init__`` — importing
+:mod:`repro.engine` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.core.range_sampler import RangeSamplerBase
+from repro.errors import EmptyQueryError
+from repro.substrates.rng import RNGLike, derive_seed, ensure_rng, spawn_rng
+
+__all__ = ["ShardedSampler", "shard_bounds"]
+
+_SHARDS = obs.counter(
+    "engine.shards",
+    "Shard sub-queries fanned out by sharded range execution",
+)
+_MERGE_US = obs.histogram(
+    "engine.shard_merge_us",
+    "Microseconds spent merging per-shard results into one batch",
+)
+
+
+def shard_bounds(n: int, num_shards: int) -> List[int]:
+    """Global sorted-index boundaries of ``num_shards`` contiguous shards.
+
+    Returns ``num_shards + 1`` cut points; shard ``j`` owns the half-open
+    index range ``[bounds[j], bounds[j + 1])``. Every shard is non-empty
+    when ``num_shards <= n`` (callers clamp).
+    """
+    return [(j * n) // num_shards for j in range(num_shards + 1)]
+
+
+class ShardedSampler(RangeSamplerBase):
+    """K contiguous key-space shards behind one range-sampler facade.
+
+    Construct through :meth:`from_sampler` (slice an existing structure)
+    or :meth:`from_params` (build shards directly from ``keys`` and
+    ``weights``). The wrapper keeps the full sorted key and weight
+    arrays (for ``span_of`` and the inherited WoR paths) plus a
+    prefix-sum array so each shard's weight inside a query span costs
+    two array reads.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Any],
+        keys: Sequence[float],
+        weights: Optional[Sequence[float]] = None,
+        rng: RNGLike = None,
+        max_workers: Optional[int] = None,
+    ):
+        super().__init__(keys, weights)
+        if not shards:
+            raise ValueError("ShardedSampler needs at least one shard")
+        sizes = [len(shard) for shard in shards]
+        if sum(sizes) != len(self.keys):
+            raise ValueError(
+                f"shard sizes {sizes} do not partition {len(self.keys)} keys"
+            )
+        self.shards: List[Any] = list(shards)
+        bounds = [0]
+        for size in sizes:
+            bounds.append(bounds[-1] + size)
+        self._bounds: List[int] = bounds
+        prefix = [0.0]
+        acc = 0.0
+        for weight in self.weights:
+            acc += weight
+            prefix.append(acc)
+        self._prefix: List[float] = prefix
+        self._rng = ensure_rng(rng)
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self._max_workers = max(1, min(len(self.shards), workers))
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def supports(sampler: Any) -> bool:
+        """Whether ``sampler`` can be sharded (sorted-key range structure)."""
+        return isinstance(sampler, RangeSamplerBase)
+
+    @classmethod
+    def from_sampler(
+        cls,
+        sampler: Any,
+        num_shards: int,
+        rng: RNGLike = None,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedSampler":
+        """Partition ``sampler``'s key space into ``num_shards`` shards.
+
+        Each shard is a fresh instance of the *same* structure class over
+        its contiguous key slice, so the per-shard query cost keeps the
+        structure's own bounds on ``n/K`` keys. ``num_shards`` is clamped
+        to the key count (every shard stays non-empty).
+        """
+        if isinstance(sampler, cls):
+            return sampler
+        if not cls.supports(sampler):
+            raise TypeError(
+                f"{type(sampler).__name__} does not support key-space "
+                f"sharding; the shard backend needs a sorted-key range "
+                f"structure (e.g. range.chunked, range.treewalk)"
+            )
+        if not isinstance(num_shards, int) or isinstance(num_shards, bool):
+            raise TypeError(f"num_shards must be an int, got {num_shards!r}")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        return cls.from_params(
+            type(sampler),
+            list(sampler.keys),
+            list(sampler.weights),
+            num_shards,
+            rng=rng,
+            max_workers=max_workers,
+        )
+
+    @classmethod
+    def from_params(
+        cls,
+        shard_cls: type,
+        keys: Sequence[float],
+        weights: Optional[Sequence[float]],
+        num_shards: int,
+        rng: RNGLike = None,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedSampler":
+        """Build ``num_shards`` instances of ``shard_cls`` over key slices."""
+        n = len(keys)
+        count = max(1, min(num_shards, n))
+        bounds = shard_bounds(n, count)
+        base_rng = ensure_rng(rng)
+        weight_list = list(weights) if weights is not None else [1.0] * n
+        shards = [
+            shard_cls(
+                list(keys[bounds[j]:bounds[j + 1]]),
+                weights=weight_list[bounds[j]:bounds[j + 1]],
+                rng=spawn_rng(base_rng, salt=j),
+            )
+            for j in range(count)
+        ]
+        return cls(
+            shards, keys, weights=weight_list, rng=base_rng,
+            max_workers=max_workers,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self.shards]
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info["shards"] = self.num_shards
+        info["shard_type"] = type(self.shards[0]).__name__
+        return info
+
+    def space_words(self) -> int:
+        # Wrapper arrays (keys + weights + prefix) on top of the shards.
+        return 3 * len(self.keys) + sum(
+            shard.space_words() for shard in self.shards
+        )
+
+    def close(self) -> None:
+        """Shut down the shard worker pool (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedSampler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.close()
+        return False
+
+    # -- the sharded hot path ----------------------------------------------
+
+    def _span_weight(self, lo: int, hi: int) -> float:
+        weight = self._prefix[hi] - self._prefix[lo]
+        if weight <= 0.0 and hi > lo:
+            # Catastrophic float cancellation in the prefix sums —
+            # recompute the rare offender exactly.
+            weight = math.fsum(self.weights[lo:hi])
+        return weight
+
+    def _active_shards(self, lo: int, hi: int) -> List[Tuple[int, int, int, float]]:
+        """``(shard, local_lo, local_hi, weight)`` for intersecting shards."""
+        active = []
+        bounds = self._bounds
+        for j in range(len(self.shards)):
+            a = max(lo, bounds[j])
+            b = min(hi, bounds[j + 1])
+            if a >= b:
+                continue
+            weight = self._span_weight(a, b)
+            if weight <= 0.0:
+                continue
+            active.append((j, a - bounds[j], b - bounds[j], weight))
+        return active
+
+    def _shard_pool(self) -> Optional[ThreadPoolExecutor]:
+        if self._max_workers < 2:
+            return None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
+
+    def sample_span(self, lo: int, hi: int, s: int, rng: RNGLike = None) -> List[int]:
+        """Split ``s`` multinomially over shards, fan out, merge.
+
+        The merge concatenates shard results in shard order — a
+        deterministic order regardless of which worker finishes first.
+        The multiset of returned indices follows exactly the unsharded
+        weighted distribution over ``[lo, hi)``.
+        """
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        # One stateless base per request: the split and every shard
+        # stream derive from it, so concurrency cannot reorder
+        # randomness consumption.
+        base = generator.getrandbits(64)
+        active = self._active_shards(lo, hi)
+        if obs.ENABLED:
+            _SHARDS.add(len(active))
+        if not active:
+            raise EmptyQueryError(
+                f"no keys in index span [{lo}, {hi}) across "
+                f"{self.num_shards} shards"
+            )
+        if len(active) == 1:
+            j, a, b, _ = active[0]
+            local = self.shards[j].sample_span(
+                a, b, s, rng=ensure_rng(derive_seed(base, 1 + j))
+            )
+            return self._merge([(j, local)])
+        from repro.core.schemes import multinomial_split
+
+        counts = multinomial_split(
+            [weight for _, _, _, weight in active],
+            s,
+            rng=ensure_rng(derive_seed(base, 0)),
+        )
+        tasks = [
+            (j, a, b, quota)
+            for (j, a, b, _), quota in zip(active, counts)
+            if quota > 0
+        ]
+
+        def run_task(task: Tuple[int, int, int, int]) -> Tuple[int, List[int]]:
+            j, a, b, quota = task
+            return j, self.shards[j].sample_span(
+                a, b, quota, rng=ensure_rng(derive_seed(base, 1 + j))
+            )
+
+        pool = self._shard_pool() if len(tasks) > 1 else None
+        if pool is not None:
+            partials = list(pool.map(run_task, tasks))
+        else:
+            partials = [run_task(task) for task in tasks]
+        return self._merge(partials)
+
+    def _merge(self, partials: List[Tuple[int, List[int]]]) -> List[int]:
+        """Offset shard-local indices to global ones, in shard order."""
+        enabled = obs.ENABLED
+        started = time.perf_counter() if enabled else 0.0
+        merged: List[int] = []
+        for j, local in sorted(partials, key=lambda pair: pair[0]):
+            offset = self._bounds[j]
+            merged.extend(offset + index for index in local)
+        if enabled:
+            _MERGE_US.observe((time.perf_counter() - started) * 1e6)
+        return merged

@@ -1,0 +1,107 @@
+"""Worker side of the engine's ``"process"`` backend.
+
+Workers rebuild samplers from picklable *build tokens* once and keep
+them resident in a module-level cache, so a batch of R requests costs R
+executions plus at most one build per ``(worker, token)`` — not R
+builds. This is what lets CPU-bound scalar samplers (whose hot loops the
+GIL serializes under the thread backend) scale across cores: the
+registry's specs are picklable, so ``(spec, params)`` crosses the
+process boundary and the structure itself never does.
+
+Token shapes (first element is the kind):
+
+* ``("spec", spec, params_items)`` — ``build(spec, **dict(params_items))``
+  through the sampler registry; ``params_items`` is a sorted tuple of
+  ``(name, value)`` pairs so equal parameter dicts produce equal tokens.
+* ``("demo", spec, n)`` — ``demo_build(spec, n=n)``, the synthesized CLI
+  workload.
+* ``("call", "module:attr", params_items)`` — an arbitrary importable
+  factory (test fault injection, custom builders).
+
+Every execution error is captured *in the worker* into the result
+envelope, so one bad request cannot poison the pool; only a worker that
+dies outright (``os._exit``, OOM-kill) surfaces as a broken-pool error,
+which the parent converts into per-request
+:class:`~repro.errors.WorkerCrashedError` envelopes.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.protocol import QueryRequest, QueryResult
+from repro.substrates.rng import ensure_rng
+
+__all__ = ["build_from_token", "execute_chunk"]
+
+#: Per-worker-process resident samplers, keyed by the pickled token.
+_RESIDENT: Dict[bytes, Any] = {}
+
+
+def build_from_token(token: Tuple[Any, ...]) -> Any:
+    """Construct the sampler a build token describes (registry-shaped)."""
+    kind = token[0]
+    if kind == "spec":
+        from repro.engine.registry import build
+
+        _, spec, params_items = token
+        return build(spec, **dict(params_items))
+    if kind == "demo":
+        from repro.engine.demo import demo_build
+
+        _, spec, n = token
+        sampler, _ = demo_build(spec, n=n)
+        return sampler
+    if kind == "call":
+        _, target, params_items = token
+        module_name, _, attr = target.partition(":")
+        factory = getattr(importlib.import_module(module_name), attr)
+        return factory(**dict(params_items))
+    raise ValueError(f"unknown build token kind {kind!r}")
+
+
+def _picklable_error(exc: Exception) -> Exception:
+    """The exception itself if it round-trips through pickle, else a stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def execute_chunk(
+    key: bytes,
+    token: Tuple[Any, ...],
+    jobs: List[Tuple[QueryRequest, Optional[int]]],
+) -> Tuple[int, List[QueryResult]]:
+    """Execute a chunk of ``(request, seed)`` jobs on the resident sampler.
+
+    Returns ``(rebuilds, results)`` where ``rebuilds`` is 1 when this
+    call had to (re)build the sampler — the parent feeds it into the
+    ``engine.worker_rebuilds`` counter. Results are order-preserving and
+    every failure is captured into the per-request envelope.
+    """
+    rebuilds = 0
+    sampler = _RESIDENT.get(key)
+    results: List[QueryResult] = []
+    for request, seed in jobs:
+        try:
+            if sampler is None:
+                sampler = build_from_token(token)
+                _RESIDENT[key] = sampler
+                rebuilds = 1
+            result = sampler.execute(
+                request, rng=None if seed is None else ensure_rng(seed)
+            )
+            result.seed = seed
+        except Exception as exc:
+            result = QueryResult(
+                request=request,
+                values=None,
+                seed=seed,
+                error=_picklable_error(exc),
+            )
+        results.append(result)
+    return rebuilds, results

@@ -41,3 +41,15 @@ class SampleBudgetExceededError(IQSError):
 
 class ExternalMemoryError(IQSError):
     """An operation violated the simulated external-memory model."""
+
+
+class WorkerCrashedError(IQSError):
+    """A process-backend worker died before returning a result.
+
+    Raised (or captured into the request's error envelope, depending on
+    the engine's ``errors`` policy) when a worker process exits abnormally
+    mid-batch — e.g. ``os._exit``, a segfault in an extension, or an
+    OOM kill. The engine replaces its broken pool and retries the other
+    requests of the batch, so only the crashing request carries this
+    error.
+    """

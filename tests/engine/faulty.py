@@ -1,0 +1,43 @@
+"""Fault-injection sampler for the process-backend tests.
+
+Lives in its own importable module (not a ``test_*`` file) because the
+process backend's workers import it by dotted path through a
+``("call", "tests.engine.faulty:build_faulty", ...)`` build token.
+"""
+
+import os
+from typing import Any, ClassVar, List, Mapping
+
+from repro.engine.protocol import EngineOp, EngineSampler
+
+
+class FaultySampler(EngineSampler):
+    """Engine sampler whose behaviour is chosen per request.
+
+    Request args are ``(behavior,)``:
+
+    * ``"ok"`` — return ``s`` deterministic floats from the request rng.
+    * ``"raise"`` — raise ``RuntimeError`` inside the worker.
+    * ``"die"`` — hard-kill the worker process (``os._exit``), simulating
+      a segfault/OOM kill: no exception propagates, the pool just breaks.
+    """
+
+    engine_ops: ClassVar[Mapping[str, EngineOp]] = {
+        "sample": EngineOp("draw", takes_s=True, pass_rng=True),
+    }
+    engine_thread_safe: ClassVar[bool] = True
+
+    def draw(self, behavior: str, s: int, *, rng: Any = None) -> List[float]:
+        if behavior == "raise":
+            raise RuntimeError("injected worker failure")
+        if behavior == "die":
+            os._exit(17)
+        base = rng.random() if rng is not None else 0.5
+        return [base + index for index in range(s)]
+
+    def sample(self, *args: Any, **kwargs: Any) -> List[float]:
+        return self.draw(*args, **kwargs)
+
+
+def build_faulty(**params: Any) -> FaultySampler:
+    return FaultySampler()

@@ -1,0 +1,151 @@
+"""Backend-equivalence harness: all four backends, two agreement tiers.
+
+Tier 1 (byte-identical): structures whose request execution is a pure
+function of ``(structure, request, seed)`` — the ``pass_rng`` families
+plus the swap-locked stateless samplers — must produce *identical*
+batches under serial, thread, and process execution, because the engine
+spawns the same per-request seed stream regardless of backend and the
+process workers rebuild the same deterministic demo structure.
+
+Tier 2 (distributional): stateful samplers (pool refills, periodic
+rebuilds) and the shard backend (which spends per-draw randomness in a
+different order than the serial stream, §4.1 multinomial split) are
+exchangeable with serial, not byte-identical — each backend's output is
+checked against the known target distribution with a chi-square test at
+a fixed seed, so the suite is deterministic and flake-free.
+"""
+
+import pytest
+
+from repro.engine import QueryRequest, SamplingEngine, build, demo_build
+from repro.engine.demo import DEMO_N
+from repro.stats.tests import (
+    chi_square_uniform_pvalue,
+    chi_square_weighted_pvalue,
+)
+
+#: Specs whose demo execution is byte-reproducible per (structure, seed).
+BYTE_SPECS = [
+    "alias",
+    "tree.topdown",
+    "tree.flat",
+    "range.treewalk",
+    "range.lemma2",
+    "range.chunked",
+    "range.naive",
+    "range.integer",
+]
+
+#: (spec, uniform support of its demo workload) for the stateful tier.
+STATEFUL_SPECS = [
+    # Union of demo sets {0,1,2}: 0..9 ∪ 8..17 ∪ 16..25 — Theorem 8
+    # samples uniformly over the union.
+    ("setunion", list(range(26))),
+    # The EM set-pool samples uniformly over all DEMO_N values.
+    ("em.setpool", [float(i) for i in range(1, DEMO_N + 1)]),
+]
+
+#: Deterministic fixed-seed chi-square acceptance threshold.
+P_FLOOR = 1e-4
+
+ENGINE_SEED = 23
+
+
+@pytest.fixture(scope="module")
+def process_engine():
+    with SamplingEngine(
+        backend="process", seed=ENGINE_SEED, max_workers=2
+    ) as engine:
+        yield engine
+
+
+def demo_requests(spec, count, s):
+    _, template = demo_build(spec)
+    return [
+        QueryRequest(op=template.op, args=template.args, s=s)
+        for _ in range(count)
+    ]
+
+
+class TestByteIdenticalTier:
+    @pytest.mark.parametrize("spec", BYTE_SPECS)
+    def test_serial_thread_process_identical(self, spec, process_engine):
+        requests = demo_requests(spec, count=16, s=5)
+        sampler, _ = demo_build(spec)
+        serial = SamplingEngine(backend="serial", seed=ENGINE_SEED).run(
+            sampler, requests
+        )
+        sampler, _ = demo_build(spec)
+        threaded = SamplingEngine(
+            backend="thread", seed=ENGINE_SEED, max_workers=4
+        ).run(sampler, requests)
+        proc = process_engine.run_token(("demo", spec, DEMO_N), requests)
+        assert all(r.ok for r in serial)
+        values = [r.values for r in serial]
+        assert [r.values for r in threaded] == values
+        assert [r.values for r in proc] == values
+        assert [r.seed for r in proc] == [r.seed for r in serial]
+
+
+class TestDistributionalTier:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "spec,support", STATEFUL_SPECS, ids=[s for s, _ in STATEFUL_SPECS]
+    )
+    def test_stateful_specs_match_target_distribution(
+        self, spec, support, backend, process_engine
+    ):
+        requests = demo_requests(spec, count=100, s=8)
+        if backend == "process":
+            results = process_engine.run_token(("demo", spec, DEMO_N), requests)
+        else:
+            sampler, _ = demo_build(spec)
+            results = SamplingEngine(
+                backend=backend, seed=ENGINE_SEED, max_workers=4
+            ).run(sampler, requests)
+        samples = [value for result in results for value in result.unwrap()]
+        assert chi_square_uniform_pvalue(samples, support) > P_FLOOR
+
+    @pytest.mark.parametrize("backend,shards", [("serial", None), ("shard", 4)])
+    def test_shard_matches_weighted_range_distribution(self, backend, shards):
+        # §4.1: the multinomial split preserves the weighted interval
+        # distribution exactly, so serial and shard must both fit it.
+        n = 40
+        keys = [float(i) for i in range(n)]
+        weights = [1.0 + (i % 5) for i in range(n)]
+        sampler = build("range.chunked", keys=keys, weights=weights, rng=1)
+        requests = [
+            QueryRequest(op="sample", args=(5.0, 34.0), s=50) for _ in range(40)
+        ]
+        engine = SamplingEngine(backend=backend, seed=101, shards=shards)
+        results = engine.run(sampler, requests)
+        samples = [value for result in results for value in result.unwrap()]
+        support = {keys[i]: weights[i] for i in range(5, 35)}
+        assert chi_square_weighted_pvalue(samples, support) > P_FLOOR
+
+
+class TestShardApplicability:
+    @pytest.mark.parametrize("spec", ["alias", "tree.topdown", "setunion"])
+    def test_non_range_specs_reject_shard_backend(self, spec):
+        sampler, template = demo_build(spec)
+        engine = SamplingEngine(backend="shard", seed=1, shards=2)
+        with pytest.raises(TypeError, match="key-space sharding"):
+            engine.run(
+                sampler,
+                [QueryRequest(op=template.op, args=template.args, s=2)],
+            )
+
+    @pytest.mark.parametrize(
+        "spec", ["range.treewalk", "range.chunked", "range.naive"]
+    )
+    def test_range_specs_accept_shard_backend(self, spec):
+        sampler, template = demo_build(spec)
+        engine = SamplingEngine(backend="shard", seed=9, shards=4)
+        results = engine.run(
+            sampler,
+            [QueryRequest(op=template.op, args=template.args, s=6)] * 8,
+        )
+        assert all(r.ok for r in results)
+        x, y = template.args
+        for result in results:
+            assert all(x <= value <= y for value in result.unwrap())

@@ -43,6 +43,30 @@ class TestEngineRun:
         )
         assert completed.returncode == 0, completed.stderr[-2000:]
 
+    def test_process_backend(self):
+        completed = run_cli(
+            "engine", "run", "range.chunked",
+            "--requests", "4", "--backend", "process", "--workers", "2",
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "backend:  process" in completed.stdout
+
+    def test_shard_backend_reports_shard_count(self):
+        completed = run_cli(
+            "engine", "run", "range.chunked",
+            "--requests", "4", "--backend", "shard", "--shards", "4",
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "backend:  shard" in completed.stdout
+        assert "shards: 4" in completed.stdout
+
+    def test_shard_backend_rejects_non_range_spec(self):
+        completed = run_cli(
+            "engine", "run", "alias", "--requests", "2", "--backend", "shard"
+        )
+        assert completed.returncode == 2
+        assert "key-space sharding" in completed.stderr
+
     def test_unknown_spec_fails_with_hint(self):
         completed = run_cli("engine", "run", "range.chunkd")
         assert completed.returncode != 0

@@ -85,6 +85,26 @@ class TestBackends:
         with pytest.raises(ValueError, match="unknown backend"):
             SamplingEngine(backend="fiber")
 
+    @pytest.mark.parametrize(
+        "typo,suggestion",
+        [("thraed", "'thread'"), ("serail", "'serial'"), ("shards", "'shard'")],
+    )
+    def test_invalid_backend_suggests_close_match(self, typo, suggestion):
+        # Same did-you-mean contract as the registry's KeyError.
+        with pytest.raises(ValueError) as excinfo:
+            SamplingEngine(backend=typo)
+        message = str(excinfo.value)
+        assert "did you mean" in message
+        assert suggestion in message
+        assert "'serial', 'thread', 'process', 'shard'" in message
+
+    def test_invalid_backend_without_close_match_lists_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            SamplingEngine(backend="gpu")
+        message = str(excinfo.value)
+        assert "did you mean" not in message
+        assert "choose from" in message
+
     @pytest.mark.slow
     def test_thread_speedup_on_multicore(self):
         if (os.cpu_count() or 1) < 2:
@@ -130,6 +150,10 @@ class TestErrors:
             SamplingEngine(max_workers=0)
         with pytest.raises(TypeError):
             SamplingEngine(seed="abc")
+        with pytest.raises(ValueError, match="shards must be"):
+            SamplingEngine(backend="shard", shards=0)
+        with pytest.raises(ValueError, match="shards must be"):
+            SamplingEngine(backend="shard", shards=2.0)
 
 
 class TestRunSpec:
