@@ -11,15 +11,15 @@ the whole file runs in seconds::
     REPRO_BENCH_QUICK=1 pytest benchmarks/bench_e18_build.py --benchmark-only
 """
 
-import os
 
 import pytest
 
 from repro.apps.workloads import zipf_weights
 from repro.engine import build
 from repro.substrates.bst import StaticBST
+from repro.substrates.env import env_flag
 
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+QUICK = env_flag("REPRO_BENCH_QUICK")
 
 #: Quick mode keeps the Lemma-2 build (the heaviest structure: O(n log n)
 #: urns) under ~100 ms per round so the CI smoke step stays cheap while

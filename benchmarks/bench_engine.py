@@ -22,11 +22,12 @@ import time
 import pytest
 
 from repro.engine import QueryRequest, SamplingEngine, build, spec_token
+from repro.substrates.env import env_flag
 
 N = 1 << 14
 BATCH = 1000
 S = 8
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+QUICK = env_flag("REPRO_BENCH_QUICK")
 SHARD_COUNTS = (1, 2, 4, 8)
 
 

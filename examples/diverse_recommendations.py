@@ -10,13 +10,13 @@ dependent sampler never does.
 Run: python examples/diverse_recommendations.py
 """
 
-import os
 import random
 
 from repro import ChunkedRangeSampler, DependentRangeSampler
 from repro.apps.diversity import coverage_over_time
+from repro.substrates.env import env_flag
 
-QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+QUICK = env_flag("REPRO_EXAMPLE_QUICK")
 
 
 def main() -> None:

@@ -9,12 +9,12 @@ the B-tree range sampler — against Hu et al.'s lower bound.
 Run: python examples/external_memory_demo.py
 """
 
-import os
 
 from repro import EMMachine, EMRangeSampler, NaiveEMSetSampler, SamplePoolSetSampler
 from repro.em.lower_bound import set_sampling_lower_bound
+from repro.substrates.env import env_flag
 
-QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+QUICK = env_flag("REPRO_EXAMPLE_QUICK")
 
 
 def main() -> None:

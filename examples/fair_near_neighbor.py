@@ -11,13 +11,13 @@ Run: python examples/fair_near_neighbor.py
 """
 
 import collections
-import os
 import time
 
 from repro import FairNearNeighbor
 from repro.apps.workloads import clustered_points
+from repro.substrates.env import env_flag
 
-QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+QUICK = env_flag("REPRO_EXAMPLE_QUICK")
 
 
 def main() -> None:

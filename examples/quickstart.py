@@ -8,15 +8,15 @@ the report-then-sample baseline and the §2 dependent sampler.
 Run: python examples/quickstart.py
 """
 
-import os
 import time
 
 from repro import ChunkedRangeSampler, DependentRangeSampler, NaiveRangeSampler
 from repro.apps.workloads import distinct_uniform_reals, zipf_weights
+from repro.substrates.env import env_flag
 
 #: Smoke-test hook: REPRO_EXAMPLE_QUICK=1 shrinks every example to run in
 #: a couple of seconds while exercising the same code paths.
-QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+QUICK = env_flag("REPRO_EXAMPLE_QUICK")
 
 
 def main() -> None:

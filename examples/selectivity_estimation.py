@@ -13,7 +13,6 @@ is all-or-nothing.
 Run: python examples/selectivity_estimation.py
 """
 
-import os
 import random
 import statistics
 
@@ -23,8 +22,9 @@ from repro.apps.estimation import (
     failure_indicators,
     required_sample_size,
 )
+from repro.substrates.env import env_flag
 
-QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+QUICK = env_flag("REPRO_EXAMPLE_QUICK")
 
 
 def main() -> None:

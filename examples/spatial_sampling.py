@@ -10,7 +10,6 @@ complement ("everything except downtown") queries.
 Run: python examples/spatial_sampling.py
 """
 
-import os
 import time
 
 from repro import (
@@ -23,8 +22,9 @@ from repro import (
     RangeTree,
 )
 from repro.apps.workloads import clustered_points
+from repro.substrates.env import env_flag
 
-QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+QUICK = env_flag("REPRO_EXAMPLE_QUICK")
 
 
 def main() -> None:

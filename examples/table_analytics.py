@@ -9,13 +9,13 @@ scanning, and with independent results on every refresh.
 Run: python examples/table_analytics.py
 """
 
-import os
 import random
 import time
 
 from repro import SampledTable
+from repro.substrates.env import env_flag
 
-QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+QUICK = env_flag("REPRO_EXAMPLE_QUICK")
 
 
 def main() -> None:

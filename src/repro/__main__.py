@@ -100,8 +100,33 @@ def _engine_run(
     n: int,
     shards: int,
     workers: int | None,
+    repeat: int = 1,
+    warmup: int = 0,
+    jit: bool | None = None,
+    shm: bool = False,
 ) -> int:
+    from time import perf_counter
+
+    from repro.core import kernels
     from repro.engine import QueryRequest, SamplingEngine, demo_build
+
+    if repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    if warmup < 0:
+        print("error: --warmup must be >= 0", file=sys.stderr)
+        return 2
+    if jit is False:
+        kernels.HAVE_JIT = False
+    elif jit is True:
+        if kernels._HAVE_NUMBA:
+            kernels.HAVE_JIT = True
+        else:
+            print(
+                "warning: --jit requested but numba is not installed; "
+                "continuing on the numpy/scalar tiers",
+                file=sys.stderr,
+            )
 
     sampler, template = demo_build(spec, n=n)
     batch = [
@@ -113,11 +138,34 @@ def _engine_run(
     )
     try:
         if backend == "process":
-            # Workers rebuild the same deterministic demo structure from
-            # the ("demo", spec, n) token and keep it resident.
-            results = engine.run_token(("demo", spec, n), batch)
+            if shm:
+                # Export the structure's arrays into shared memory: the
+                # token carries only segment names, workers mmap-attach.
+                token = engine.share(sampler)
+            else:
+                # Workers rebuild the same deterministic demo structure
+                # from the ("demo", spec, n) token and keep it resident.
+                token = ("demo", spec, n)
+            run_once = lambda: engine.run_token(token, batch)  # noqa: E731
+        elif shm:
+            print(
+                "error: --shm requires --backend process (shared-memory "
+                "tokens only matter across process boundaries)",
+                file=sys.stderr,
+            )
+            return 2
         else:
-            results = engine.run(sampler, batch)
+            run_once = lambda: engine.run(sampler, batch)  # noqa: E731
+        # Warmup batches absorb one-time costs — worker residency builds,
+        # shm attaches, and (on the jit tier) numba compilation — so the
+        # timed repeats measure steady-state throughput.
+        for _ in range(warmup):
+            run_once()
+        wall_times = []
+        for _ in range(repeat):
+            start = perf_counter()
+            results = run_once()
+            wall_times.append(perf_counter() - start)
     except TypeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -127,9 +175,21 @@ def _engine_run(
     described = sampler.describe()
     print(f"spec:     {spec} ({described.get('class', type(sampler).__name__)})")
     extra = f"  shards: {shards}" if backend == "shard" else ""
+    if backend == "process":
+        extra += f"  shm: {'on' if shm else 'off'}"
     print(f"backend:  {backend}  seed: {seed}  requests: {requests}  s: {s}{extra}")
+    print(
+        f"kernels:  jit={'on' if kernels.HAVE_JIT else 'off'}  "
+        f"numpy={'on' if kernels.HAVE_NUMPY else 'off'}"
+    )
     elapsed = sum(r.elapsed_s or 0.0 for r in results)
     print(f"executed: {len(results)} requests in {elapsed:.4f}s sampler time")
+    if warmup or repeat > 1:
+        print(
+            f"timing:   warmup={warmup} repeat={repeat}  "
+            f"best={min(wall_times):.4f}s  "
+            f"mean={sum(wall_times) / len(wall_times):.4f}s wall per batch"
+        )
     for index, result in enumerate(results[:3]):
         print(f"  [{index}] seed={result.seed} values={result.values!r}")
     if len(results) > 3:
@@ -227,6 +287,26 @@ def main(argv=None) -> int:
         help="pool width for thread/process/shard backends "
              "(default: min(8, cpu_count))",
     )
+    run_parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="timed executions of the batch (default: 1)",
+    )
+    run_parser.add_argument(
+        "--warmup", type=int, default=0,
+        help="untimed batch executions first — excludes numba compilation, "
+             "worker residency builds, and shm attaches from the timings "
+             "(default: 0)",
+    )
+    run_parser.add_argument(
+        "--jit", action=argparse.BooleanOptionalAction, default=None,
+        help="force the compiled kernel tier on (--jit) or off (--no-jit); "
+             "default: auto (on when numba is installed)",
+    )
+    run_parser.add_argument(
+        "--shm", action="store_true",
+        help="with --backend process: export the structure to shared "
+             "memory so workers mmap-attach instead of rebuilding",
+    )
     obs_parser = subparsers.add_parser(
         "obs", help="run a representative workload and dump the metrics snapshot"
     )
@@ -250,7 +330,8 @@ def main(argv=None) -> int:
             return _engine_list()
         return _engine_run(
             args.spec, args.requests, args.s, args.backend, args.seed, args.n,
-            args.shards, args.workers,
+            args.shards, args.workers, repeat=args.repeat, warmup=args.warmup,
+            jit=args.jit, shm=args.shm,
         )
     if args.command == "obs":
         return _obs_dump(args.format, args.out, args.no_workload)

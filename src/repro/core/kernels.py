@@ -30,9 +30,10 @@ distribution, not draw-for-draw identical.
 
 from __future__ import annotations
 
-import os
 import random
 from typing import Any, List, Sequence, Tuple
+
+from repro.substrates.env import env_flag
 
 try:  # pragma: no cover - exercised both ways across environments
     import numpy as np
@@ -45,12 +46,32 @@ except ImportError:  # pragma: no cover
 # Kill switch: force the scalar fallbacks even when numpy is importable.
 # Used by CI to prove the pure-Python paths stay healthy, and available to
 # operators as an emergency lever.
-if os.environ.get("REPRO_DISABLE_NUMPY"):  # pragma: no cover
+if env_flag("REPRO_DISABLE_NUMPY"):  # pragma: no cover
     HAVE_NUMPY = False
+
+try:  # pragma: no cover - exercised both ways across environments
+    from repro.core import kernels_jit
+
+    _HAVE_NUMBA = HAVE_NUMPY and kernels_jit.HAVE_NUMBA
+except ImportError:  # pragma: no cover - kernels_jit hard-imports numpy
+    kernels_jit = None  # type: ignore[assignment]
+    _HAVE_NUMBA = False
+
+#: Whether the compiled (numba) tier is selected by the dispatch ladder.
+#: Requires numpy (the kernels operate on the same arrays), an importable
+#: numba, and the ``REPRO_DISABLE_JIT`` kill switch unset — the same
+#: pattern as :data:`HAVE_NUMPY` / ``REPRO_DISABLE_NUMPY`` one rung down.
+HAVE_JIT = _HAVE_NUMBA and not env_flag("REPRO_DISABLE_JIT")
 
 #: Minimum batch size for which the vectorized path is dispatched. Below
 #: this, numpy call overhead can exceed the scalar loop's cost.
 BATCH_MIN_SIZE = 16
+
+#: Minimum batch size for which the compiled tier is dispatched. The jit
+#: kernels re-derive their randomness per draw (counter-based SplitMix64),
+#: which costs a few mixes per element — a win that needs a batch big
+#: enough to amortise against numpy's tightly optimised small-batch RNG.
+JIT_MIN_SIZE = 256
 
 #: Minimum table size for which the vectorized *construction* path is
 #: dispatched. Small tables (multinomial parts, query covers) build faster
@@ -74,6 +95,23 @@ _GEN_ATTR = "_repro_batch_generator"
 #: a re-seeded block derives a fresh batch generator too.
 GENERATOR_ATTR = _GEN_ATTR
 
+# Dispatch-ladder counters (repro.obs). "scalar" counts batch requests
+# that fell through to the pure-Python loops; "numpy"/"jit" count batched
+# kernel invocations served by each tier. Importing obs here is safe:
+# repro/__init__ initialises repro.obs before repro.core, and repro.obs's
+# only repro import is the dependency-free substrates.env.
+from repro import obs  # noqa: E402  (after the availability probes above)
+
+_DISPATCH_SCALAR = obs.counter(
+    "kernels.dispatch.scalar", "Batch requests served by the scalar loops"
+)
+_DISPATCH_NUMPY = obs.counter(
+    "kernels.dispatch.numpy", "Batched kernel calls served by the numpy tier"
+)
+_DISPATCH_JIT = obs.counter(
+    "kernels.dispatch.jit", "Batched kernel calls served by the compiled tier"
+)
+
 
 def use_batch(s: int) -> bool:
     """True when a request for ``s`` draws should take the numpy path.
@@ -81,7 +119,21 @@ def use_batch(s: int) -> bool:
     Honours :data:`HAVE_NUMPY` (numpy importable *and* not disabled for
     testing) and the :data:`BATCH_MIN_SIZE` cutoff.
     """
-    return HAVE_NUMPY and s >= BATCH_MIN_SIZE
+    if HAVE_NUMPY and s >= BATCH_MIN_SIZE:
+        return True
+    if obs.ENABLED:
+        _DISPATCH_SCALAR.inc()
+    return False
+
+
+def use_jit(s: int) -> bool:
+    """True when a batched kernel call of size ``s`` takes the jit tier.
+
+    The third rung of the dispatch ladder (scalar → numpy → jit):
+    :data:`HAVE_JIT` (numpy + numba importable, ``REPRO_DISABLE_JIT``
+    unset) and the :data:`JIT_MIN_SIZE` cutoff.
+    """
+    return HAVE_JIT and s >= JIT_MIN_SIZE
 
 
 def use_batch_build(n: int) -> bool:
@@ -120,9 +172,26 @@ def alias_draw_batch(prob: Any, alias: Any, size: int, gen: "np.random.Generator
 
     The exact batched analogue of :func:`repro.core.alias.alias_draw`:
     pick a uniform urn, flip its biased coin, follow the alias on tails.
+
+    When the compiled tier is available and ``size`` clears
+    :data:`JIT_MIN_SIZE`, the call is served by the fused
+    :func:`repro.core.kernels_jit.alias_draw` loop instead; the jit
+    stream is seeded from ``gen`` (one 64-bit draw), so output remains a
+    pure function of the sampler seed, but the tiers' streams differ —
+    equivalence across tiers is distributional (chi-square), not
+    draw-for-draw.
     """
     prob = np.asarray(prob, dtype=np.float64)
     alias = np.asarray(alias, dtype=np.intp)
+    if use_jit(size):
+        if obs.ENABLED:
+            _DISPATCH_JIT.inc()
+        seed = int(gen.integers(0, 2**64, dtype=np.uint64))
+        out = np.empty(size, dtype=np.intp)
+        kernels_jit.alias_draw(prob, alias, seed, out)
+        return out
+    if obs.ENABLED:
+        _DISPATCH_NUMPY.inc()
     n = len(prob)
     urns = gen.integers(0, n, size=size)
     coins = gen.random(size)
@@ -182,8 +251,31 @@ def bst_topdown_batch(
     one step == one node visit below the start node). The count is
     maintained per level — O(height) adds — so passing it does not
     change the kernel's asymptotics; ``None`` skips it entirely.
+
+    Batches clearing :data:`JIT_MIN_SIZE` are served by the compiled
+    per-token walk (:func:`repro.core.kernels_jit.bst_topdown`) when the
+    jit tier is on — same visit accounting, counter-based stream seeded
+    from ``gen``.
     """
     nodes = np.array(start_nodes, dtype=np.intp, copy=True)
+    if use_jit(len(nodes)):
+        if obs.ENABLED:
+            _DISPATCH_JIT.inc()
+        seed = int(gen.integers(0, 2**64, dtype=np.uint64))
+        visits = kernels_jit.bst_topdown(
+            np.asarray(left, dtype=np.intp),
+            np.asarray(right, dtype=np.intp),
+            np.asarray(node_weight, dtype=np.float64),
+            nodes.copy(),
+            seed,
+            no_child,
+            nodes,
+        )
+        if visit_out is not None:
+            visit_out[0] += visits
+        return nodes
+    if obs.ENABLED:
+        _DISPATCH_NUMPY.inc()
     active = left[nodes] != no_child
     while active.any():
         at = np.nonzero(active)[0]
@@ -201,8 +293,25 @@ def bst_topdown_batch(
 def rejection_accept_batch(
     acceptance: Any, gen: "np.random.Generator"
 ) -> Any:
-    """Vector of accept/reject coins for per-attempt acceptance rates."""
-    return gen.random(len(acceptance)) < acceptance
+    """Vector of accept/reject coins for per-attempt acceptance rates.
+
+    The uniforms always come from ``gen`` — on the jit tier only the
+    compare loop is compiled — so this kernel is **byte-identical**
+    across the numpy and jit tiers (asserted in
+    ``tests/core/test_jit_kernels.py``).
+    """
+    size = len(acceptance)
+    if use_jit(size):
+        if obs.ENABLED:
+            _DISPATCH_JIT.inc()
+        out = np.empty(size, dtype=np.bool_)
+        kernels_jit.rejection_accept(
+            np.asarray(acceptance, dtype=np.float64), gen.random(size), out
+        )
+        return out
+    if obs.ENABLED:
+        _DISPATCH_NUMPY.inc()
+    return gen.random(size) < acceptance
 
 
 # ----------------------------------------------------------------------
@@ -259,8 +368,16 @@ def _segmented_cumsum(values: Any, segments: Any) -> Any:
 
     Requires non-negative ``values`` (true of deficits/excesses), which
     makes the global cumsum non-decreasing so segment bases propagate with
-    a single ``maximum.accumulate``.
+    a single ``maximum.accumulate``. On the jit tier the compiled
+    sequential loop (:func:`repro.core.kernels_jit.segmented_cumsum`)
+    resets exactly at each boundary — same sums up to cumsum rounding
+    drift, one pass, no temporaries.
     """
+    if HAVE_JIT:
+        vals = np.ascontiguousarray(values, dtype=np.float64)
+        out = np.empty(len(vals))
+        kernels_jit.segmented_cumsum(vals, np.ascontiguousarray(segments), out)
+        return out
     running = np.cumsum(values)
     base = np.zeros(len(values))
     starts = np.nonzero(segments[1:] != segments[:-1])[0] + 1
@@ -312,14 +429,21 @@ def build_alias_tables_batch(weights: Sequence[float]) -> Tuple[Any, Any]:
         active = large
         passes += 1
     if active.size:
-        fin_idx: List[int] = []
-        fin_prob: List[float] = []
-        fin_alias: List[int] = []
-        _vose_finish(active.tolist(), act.tolist(), fin_idx, fin_prob, fin_alias)
-        if fin_idx:
-            idx = np.asarray(fin_idx, dtype=np.intp)
-            prob[idx] = fin_prob
-            alias[idx] = fin_alias
+        if HAVE_JIT:
+            # Compiled finish: byte-identical stack discipline, no
+            # array->list->array round-trip for the tail.
+            idx, fprob, falias = kernels_jit.finish_tail(active, act)
+            prob[idx] = fprob
+            alias[idx] = falias
+        else:
+            fin_idx: List[int] = []
+            fin_prob: List[float] = []
+            fin_alias: List[int] = []
+            _vose_finish(active.tolist(), act.tolist(), fin_idx, fin_prob, fin_alias)
+            if fin_idx:
+                idx = np.asarray(fin_idx, dtype=np.intp)
+                prob[idx] = fin_prob
+                alias[idx] = fin_alias
     return prob, alias
 
 
@@ -460,25 +584,31 @@ def build_alias_tables_flat(values: Any, lengths: Any) -> Tuple[Any, Any]:
         act_seg = large_segs
         passes += 1
     if active.size:
-        remaining = active.tolist()
-        masses = act.tolist()
         cuts = np.nonzero(act_seg[1:] != act_seg[:-1])[0] + 1
-        bounds = [0, *cuts.tolist(), len(remaining)]
-        fin_idx: List[int] = []
-        fin_prob: List[float] = []
-        fin_alias: List[int] = []
-        for lo, hi in zip(bounds, bounds[1:]):
-            _vose_finish(
-                remaining[lo:hi],
-                masses[lo:hi],
-                fin_idx,
-                fin_prob,
-                fin_alias,
-            )
-        if fin_idx:
-            idx = np.asarray(fin_idx, dtype=np.intp)
-            prob[idx] = fin_prob
-            alias[idx] = fin_alias
+        bounds = [0, *cuts.tolist(), int(active.size)]
+        if HAVE_JIT:
+            for lo, hi in zip(bounds, bounds[1:]):
+                idx, fprob, falias = kernels_jit.finish_tail(active[lo:hi], act[lo:hi])
+                prob[idx] = fprob
+                alias[idx] = falias
+        else:
+            remaining = active.tolist()
+            masses = act.tolist()
+            fin_idx: List[int] = []
+            fin_prob: List[float] = []
+            fin_alias: List[int] = []
+            for lo, hi in zip(bounds, bounds[1:]):
+                _vose_finish(
+                    remaining[lo:hi],
+                    masses[lo:hi],
+                    fin_idx,
+                    fin_prob,
+                    fin_alias,
+                )
+            if fin_idx:
+                idx = np.asarray(fin_idx, dtype=np.intp)
+                prob[idx] = fin_prob
+                alias[idx] = fin_alias
     alias -= seg_starts.astype(idx_t)[seg_ids]
     return prob, alias
 
@@ -525,9 +655,12 @@ def build_alias_tables_packed(
 
 __all__ = [
     "HAVE_NUMPY",
+    "HAVE_JIT",
     "BATCH_MIN_SIZE",
     "BUILD_MIN_SIZE",
+    "JIT_MIN_SIZE",
     "use_batch",
+    "use_jit",
     "use_batch_build",
     "batch_generator",
     "as_alias_arrays",

@@ -26,12 +26,12 @@ are exposed for observability and asserted in tests.
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional
 
 from repro import obs
+from repro.substrates.env import env_int
 
 # Registry-backed counters (repro.obs), aggregated across every cache in
 # the process; the per-instance ints remain for the ``stats()`` shim.
@@ -53,15 +53,7 @@ _MISSING = object()
 def resolve_capacity(capacity: Optional[int] = None) -> int:
     """Resolve a cache capacity from the argument or the environment."""
     if capacity is None:
-        raw = os.environ.get(ENV_CAPACITY)
-        if raw is None or raw.strip() == "":
-            return DEFAULT_CAPACITY
-        try:
-            capacity = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{ENV_CAPACITY} must be an integer, got {raw!r}"
-            ) from None
+        capacity = env_int(ENV_CAPACITY, DEFAULT_CAPACITY)
     if capacity < 0:
         raise ValueError(f"plan cache capacity must be >= 0, got {capacity}")
     return capacity

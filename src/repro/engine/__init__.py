@@ -67,6 +67,7 @@ __all__ = [
     "SamplerRegistry",
     "SamplingEngine",
     "ShardedSampler",
+    "ShmShareError",
     "build",
     "demo_build",
     "spec_token",
@@ -74,11 +75,16 @@ __all__ = [
 
 
 def __getattr__(name):
-    # ShardedSampler pulls in the core range-sampler stack, so it is
-    # resolved lazily — ``import repro.engine`` stays cheap (the same
-    # policy as the registry's dotted-path targets).
+    # ShardedSampler pulls in the core range-sampler stack, and the shm
+    # module needs numpy, so both are resolved lazily — ``import
+    # repro.engine`` stays cheap (the same policy as the registry's
+    # dotted-path targets).
     if name == "ShardedSampler":
         from repro.engine.shard import ShardedSampler
 
         return ShardedSampler
+    if name == "ShmShareError":
+        from repro.engine.shm import ShmShareError
+
+        return ShmShareError
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

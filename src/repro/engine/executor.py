@@ -28,16 +28,23 @@ list of :class:`~repro.engine.protocol.QueryResult`:
   worker process dying mid-batch) are caught into ``result.error``
   instead of poisoning the batch; ``errors="raise"`` restores fail-fast
   behaviour.
+* **Zero-copy structure sharing.** :meth:`SamplingEngine.share` exports
+  a built structure's arrays into shared memory
+  (:mod:`repro.engine.shm`) and returns an ``("shm", manifest)`` token:
+  process-backend workers attach read-only instead of rebuilding, and
+  :meth:`SamplingEngine.close` unlinks the segments.
 * **Observability.** ``engine.batches`` / ``engine.requests`` /
   ``engine.request_errors`` / ``engine.worker_rebuilds`` /
-  ``engine.shards`` counters, the ``engine.shard_merge_us`` histogram,
-  and the ``engine.run`` span feed :mod:`repro.obs` when metrics are
+  ``engine.serialized_bytes`` / ``engine.shards`` counters, the
+  ``engine.shard_merge_us`` and ``engine.shm_attach_us`` histograms, and
+  the ``engine.run`` span feed :mod:`repro.obs` when metrics are
   enabled.
 """
 
 from __future__ import annotations
 
 import math
+import multiprocessing
 import os
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -66,6 +73,10 @@ _ERRORS = obs.counter(
 _REBUILDS = obs.counter(
     "engine.worker_rebuilds",
     "Sampler rebuilds performed by process-backend workers",
+)
+_SERIALIZED = obs.counter(
+    "engine.serialized_bytes",
+    "Build-token bytes pickled to process-backend workers (per chunk)",
 )
 
 
@@ -102,6 +113,11 @@ class SamplingEngine:
         Shard count for the shard backend (default
         :data:`DEFAULT_SHARDS`); clamped to the structure's key count at
         run time.
+    mp_context:
+        Start method for the process backend's pool (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); ``None`` keeps the platform
+        default. Shared-memory tokens attach by segment name, so they
+        work under every start method.
     """
 
     def __init__(
@@ -111,6 +127,7 @@ class SamplingEngine:
         seed: Any = None,
         errors: str = "capture",
         shards: Optional[int] = None,
+        mp_context: Optional[str] = None,
     ):
         if backend not in BACKENDS:
             close = get_close_matches(str(backend), BACKENDS, n=3)
@@ -141,8 +158,20 @@ class SamplingEngine:
             self._seed = seed
         else:
             raise TypeError(f"seed must be an int, None, or False, got {seed!r}")
+        if mp_context is not None:
+            methods = multiprocessing.get_all_start_methods()
+            if mp_context not in methods:
+                raise ValueError(
+                    f"unknown mp_context {mp_context!r}; choose from {methods}"
+                )
+        self._mp_context = mp_context
         self._errors = errors
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Shared-memory exports this engine owns: id(sampler) -> (sampler,
+        # token) memo (the strong ref pins the id), plus the segments to
+        # unlink at close().
+        self._shm_tokens: Dict[int, Tuple[Any, Tuple[Any, ...]]] = {}
+        self._shm_segments: List[Any] = []
 
     @property
     def seed(self) -> Optional[int]:
@@ -161,10 +190,48 @@ class SamplingEngine:
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the process pool (idempotent; safe on broken pools)."""
+        """Shut down the pool and unlink shared segments (idempotent).
+
+        The engine owns every segment created through :meth:`share`;
+        unlinking after the pool drains means no segment can leak even
+        when workers crashed mid-batch — dead workers' mappings vanish
+        with them, and unlink removes the name.
+        """
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        segments, self._shm_segments = self._shm_segments, []
+        self._shm_tokens.clear()
+        if segments:
+            from repro.engine import shm
+
+            shm.unlink_segments(segments)
+
+    def share(self, sampler: Sampler) -> Tuple[Any, ...]:
+        """Export ``sampler``'s structure to shared memory; return its token.
+
+        The returned ``("shm", manifest)`` token is picklable and tiny
+        (segment names plus O(log n) metadata) — pass it to
+        :meth:`run_token` and process-backend workers mmap-attach the
+        parent's arrays read-only instead of rebuilding or unpickling
+        them. Repeated calls with the same sampler instance reuse the
+        first export. Segments live until :meth:`close`.
+
+        Raises :class:`~repro.engine.shm.ShmShareError` for structures
+        without a shared-memory exporter (fall back to spec tokens).
+        """
+        from repro.engine import shm
+
+        memo = self._shm_tokens.get(id(sampler))
+        if memo is not None:
+            return memo[1]
+        manifest, segments = shm.export_sampler(
+            sampler, rng_seed=DEFAULT_SEED if self._seed is None else self._seed
+        )
+        self._shm_segments.extend(segments)
+        token = shm.shm_token(manifest)
+        self._shm_tokens[id(sampler)] = (sampler, token)
+        return token
 
     def __enter__(self) -> "SamplingEngine":
         return self
@@ -323,7 +390,14 @@ class SamplingEngine:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            context = (
+                multiprocessing.get_context(self._mp_context)
+                if self._mp_context is not None
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
         return self._pool
 
     def _discard_pool(self) -> None:
@@ -363,6 +437,11 @@ class SamplingEngine:
                 except BrokenExecutor:
                     broke = True
                     break
+                if obs.ENABLED:
+                    # The token pickles to `key`, and rides along once per
+                    # chunk — this is the structure-serialization cost the
+                    # shm tokens keep O(1) in n.
+                    _SERIALIZED.add(len(key))
                 submitted.append((start, chunk, future))
             for start, chunk, future in submitted:
                 try:
@@ -381,6 +460,8 @@ class SamplingEngine:
                     continue
                 pool = self._ensure_pool()
                 try:
+                    if obs.ENABLED:
+                        _SERIALIZED.add(len(key))
                     rebuilds, (single,) = pool.submit(
                         execute_chunk, key, token, [(request, seed)]
                     ).result()

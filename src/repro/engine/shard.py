@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core import kernels
 from repro.core.range_sampler import RangeSamplerBase
 from repro.errors import EmptyQueryError
 from repro.substrates.rng import RNGLike, derive_seed, ensure_rng, spawn_rng
@@ -98,11 +99,18 @@ class ShardedSampler(RangeSamplerBase):
         for size in sizes:
             bounds.append(bounds[-1] + size)
         self._bounds: List[int] = bounds
-        prefix = [0.0]
-        acc = 0.0
-        for weight in self.weights:
-            acc += weight
-            prefix.append(acc)
+        if kernels.use_batch_build(len(self.weights)):
+            np = kernels.np
+            prefix_arr = np.empty(len(self.weights) + 1, dtype=np.float64)
+            prefix_arr[0] = 0.0
+            np.cumsum(np.asarray(self.weights, dtype=np.float64), out=prefix_arr[1:])
+            prefix = prefix_arr.tolist()
+        else:
+            prefix = [0.0]
+            acc = 0.0
+            for weight in self.weights:
+                acc += weight
+                prefix.append(acc)
         self._prefix: List[float] = prefix
         self._rng = ensure_rng(rng)
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)

@@ -17,6 +17,10 @@ Token shapes (first element is the kind):
   workload.
 * ``("call", "module:attr", params_items)`` — an arbitrary importable
   factory (test fault injection, custom builders).
+* ``("shm", manifest)`` — attach a structure the parent exported into
+  shared memory (:mod:`repro.engine.shm`, via
+  :meth:`SamplingEngine.share`). The "rebuild" is an mmap attach: no
+  structure arrays cross the process boundary and no O(n) build runs.
 
 Every execution error is captured *in the worker* into the result
 envelope, so one bad request cannot poison the pool; only a worker that
@@ -59,6 +63,11 @@ def build_from_token(token: Tuple[Any, ...]) -> Any:
         module_name, _, attr = target.partition(":")
         factory = getattr(importlib.import_module(module_name), attr)
         return factory(**dict(params_items))
+    if kind == "shm":
+        from repro.engine import shm
+
+        _, manifest = token
+        return shm.attach_sampler(manifest)
     raise ValueError(f"unknown build token kind {kind!r}")
 
 

@@ -37,8 +37,9 @@ metric inventory and semantics.
 
 from __future__ import annotations
 
-import os
 from typing import Optional, Sequence, Union
+
+from repro.substrates.env import env_flag
 
 from repro.obs.export import to_json, to_prometheus, write_sidecar
 from repro.obs.registry import (
@@ -50,15 +51,14 @@ from repro.obs.registry import (
 )
 from repro.obs.trace import NULL_SPAN, NullSpan, SpanTimer
 
-#: Environment variable controlling the import-time default. Truthy
-#: values: ``1``, ``true``, ``yes``, ``on`` (case-insensitive).
+#: Environment variable controlling the import-time default; parsed by
+#: :func:`repro.substrates.env.env_flag` (truthy: ``1``/``true``/``yes``/
+#: ``on``, case-insensitive).
 ENV_ENABLED = "REPRO_METRICS"
 
 #: Optional path for the benchmark-suite metrics sidecar JSON (consumed
 #: by ``benchmarks/conftest.py``; CI uploads it as a workflow artifact).
 ENV_SIDECAR = "REPRO_METRICS_SIDECAR"
-
-_TRUTHY = {"1", "true", "yes", "on"}
 
 #: The process-wide registry every instrumented module records into.
 REGISTRY = MetricsRegistry()
@@ -66,7 +66,7 @@ REGISTRY = MetricsRegistry()
 #: Global enablement flag. Instrumented call sites read this directly
 #: (``if obs.ENABLED:``) — mutate it only through :func:`enable` /
 #: :func:`disable` so future bookkeeping has one choke point.
-ENABLED: bool = os.environ.get(ENV_ENABLED, "").strip().lower() in _TRUTHY
+ENABLED: bool = env_flag(ENV_ENABLED)
 
 
 def enabled() -> bool:

@@ -5,36 +5,52 @@ canonical-node decomposition, Fenwick trees, kd-trees, range trees,
 quadtrees, distinct-count sketches, and permutation utilities. None of them
 performs independent query sampling by itself; the :mod:`repro.core`
 techniques are layered on top (paper §3–§7).
+
+Re-exports are **lazy** (PEP 562): this package also hosts the
+dependency-free :mod:`repro.substrates.env` helper, which
+:mod:`repro.obs` and :mod:`repro.core.kernels` import during *their own*
+initialization — an eager ``from .bst import StaticBST`` here would drag
+``repro.core`` (and its module-level ``obs.counter`` calls) into that
+window and deadlock the import graph. ``from repro.substrates import
+StaticBST`` still works exactly as before; the submodule just loads on
+first attribute access.
 """
 
-from repro.substrates.bst import StaticBST
-from repro.substrates.convex_layers import ConvexLayers, PolygonExtremes, convex_hull
-from repro.substrates.fenwick import FenwickTree
-from repro.substrates.halfplane import HalfplaneIndex
-from repro.substrates.grid import ShiftedGrids
-from repro.substrates.kdtree import KDTree
-from repro.substrates.minrank_tree import MinRankTree
-from repro.substrates.permutation import assign_ranks, random_permutation
-from repro.substrates.quadtree import QuadTree
-from repro.substrates.rangetree import RangeTree
-from repro.substrates.rng import ensure_rng, spawn_rng
-from repro.substrates.sketch import KMVSketch
+from importlib import import_module
 
-__all__ = [
-    "StaticBST",
-    "ConvexLayers",
-    "PolygonExtremes",
-    "convex_hull",
-    "HalfplaneIndex",
-    "FenwickTree",
-    "ShiftedGrids",
-    "KDTree",
-    "MinRankTree",
-    "assign_ranks",
-    "random_permutation",
-    "QuadTree",
-    "RangeTree",
-    "ensure_rng",
-    "spawn_rng",
-    "KMVSketch",
-]
+_EXPORTS = {
+    "StaticBST": "repro.substrates.bst",
+    "ConvexLayers": "repro.substrates.convex_layers",
+    "PolygonExtremes": "repro.substrates.convex_layers",
+    "convex_hull": "repro.substrates.convex_layers",
+    "FenwickTree": "repro.substrates.fenwick",
+    "HalfplaneIndex": "repro.substrates.halfplane",
+    "ShiftedGrids": "repro.substrates.grid",
+    "KDTree": "repro.substrates.kdtree",
+    "MinRankTree": "repro.substrates.minrank_tree",
+    "assign_ranks": "repro.substrates.permutation",
+    "random_permutation": "repro.substrates.permutation",
+    "QuadTree": "repro.substrates.quadtree",
+    "RangeTree": "repro.substrates.rangetree",
+    "ensure_rng": "repro.substrates.rng",
+    "spawn_rng": "repro.substrates.rng",
+    "KMVSketch": "repro.substrates.sketch",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

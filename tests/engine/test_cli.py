@@ -72,3 +72,37 @@ class TestEngineRun:
         assert completed.returncode != 0
         combined = completed.stdout + completed.stderr
         assert "range.chunked" in combined
+
+    def test_repeat_and_warmup_report_timings(self):
+        completed = run_cli(
+            "engine", "run", "range.treewalk",
+            "--requests", "4", "--repeat", "3", "--warmup", "2",
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "timing:   warmup=2 repeat=3" in completed.stdout
+        assert "wall per batch" in completed.stdout
+
+    def test_invalid_repeat_rejected(self):
+        completed = run_cli("engine", "run", "alias", "--repeat", "0")
+        assert completed.returncode == 2
+        assert "--repeat" in completed.stderr
+
+    def test_no_jit_flag_reports_tier(self):
+        completed = run_cli("engine", "run", "alias", "--no-jit")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "jit=off" in completed.stdout
+
+    def test_shm_flag_on_process_backend(self):
+        completed = run_cli(
+            "engine", "run", "range.treewalk",
+            "--requests", "4", "--n", "512",
+            "--backend", "process", "--workers", "2", "--shm",
+            "--warmup", "1", "--repeat", "2",
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "shm: on" in completed.stdout
+
+    def test_shm_requires_process_backend(self):
+        completed = run_cli("engine", "run", "range.treewalk", "--shm")
+        assert completed.returncode == 2
+        assert "--backend process" in completed.stderr

@@ -1,0 +1,219 @@
+"""Zero-copy shared-memory tokens: round trips, lifecycle, pickling gate.
+
+The contract under test (repro.engine.shm + SamplingEngine.share):
+
+* attaching a manifest yields a sampler whose draws are byte-identical
+  to the original under the same rng;
+* the ("shm", manifest) token is O(1) in n — process workers mmap-attach
+  instead of rebuilding, so ``engine.serialized_bytes`` stays tiny while
+  the structure arrays are megabytes;
+* the parent owns segment lifecycle: ``close()`` unlinks everything,
+  including after a worker crash broke the pool;
+* attach-by-name works under both ``fork`` and ``spawn`` start methods.
+"""
+
+import pickle
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.alias import AliasSampler
+from repro.core.range_sampler import (
+    AliasAugmentedRangeSampler,
+    ChunkedRangeSampler,
+    TreeWalkRangeSampler,
+)
+from repro.engine import QueryRequest, SamplingEngine
+from repro.engine import shm
+from repro.substrates.rng import ensure_rng
+
+FAULTY = ("call", "tests.engine.faulty:build_faulty", ())
+
+
+def make_keys_weights(n=3000, seed=7):
+    gen = np.random.default_rng(seed)
+    keys = sorted(set(np.sort(gen.random(n)).tolist()))
+    weights = (gen.random(len(keys)) + 0.1).tolist()
+    return keys, weights
+
+
+def range_requests(keys, count=12, s=16):
+    lo, hi = keys[3], keys[-3]
+    return [QueryRequest(op="sample", args=(lo, hi), s=s) for _ in range(count)]
+
+
+def assert_unlinked(manifest):
+    for name, _, _ in manifest["arrays"].values():
+        with pytest.raises(FileNotFoundError):
+            SharedMemory(name=name)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory,label",
+        [
+            (lambda k, w: AliasSampler(list(range(len(k))), w, rng=3), "alias"),
+            (lambda k, w: TreeWalkRangeSampler(k, w, rng=3), "treewalk"),
+            (lambda k, w: AliasAugmentedRangeSampler(k, w, rng=3), "lemma2"),
+        ],
+    )
+    def test_attached_draws_are_byte_identical(self, factory, label):
+        if label == "lemma2" and not kernels.HAVE_NUMPY:
+            pytest.skip("lemma2 shares its flat-table (numpy build) form only")
+        keys, weights = make_keys_weights()
+        original = factory(keys, weights)
+        manifest, segments = shm.export_sampler(original)
+        try:
+            attached = shm.attach_sampler(manifest)
+            assert type(attached) is type(original)
+            if label == "alias":
+                expected = original.sample_many(400, rng=ensure_rng(99))
+                got = attached.sample_many(400, rng=ensure_rng(99))
+            else:
+                lo, hi = keys[50], keys[-50]
+                expected = original.sample(lo, hi, 400, rng=ensure_rng(99))
+                got = attached.sample(lo, hi, 400, rng=ensure_rng(99))
+            assert got == expected
+            # Attached samplers must hand back native Python scalars, not
+            # numpy ones — same types a rebuilt sampler would return.
+            assert {type(v) for v in got} == {type(v) for v in expected}
+        finally:
+            shm.unlink_segments(segments)
+
+    def test_token_is_small_and_picklable(self):
+        keys, weights = make_keys_weights()
+        sampler = TreeWalkRangeSampler(keys, weights, rng=3)
+        manifest, segments = shm.export_sampler(sampler)
+        try:
+            blob = pickle.dumps(shm.shm_token(manifest))
+            # The structure arrays are ~600 KB; the token must stay O(1).
+            assert shm.manifest_nbytes(manifest) > 100_000
+            assert len(blob) < 2_000
+        finally:
+            shm.unlink_segments(segments)
+
+    def test_unsupported_structure_raises(self):
+        keys, weights = make_keys_weights(500)
+        chunked = ChunkedRangeSampler(keys, weights, rng=3)
+        with pytest.raises(shm.ShmShareError, match="spec token"):
+            shm.export_sampler(chunked)
+
+    def test_scalar_built_lemma2_raises(self, monkeypatch):
+        from repro.core import kernels
+
+        monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
+        keys, weights = make_keys_weights(200)
+        scalar_form = AliasAugmentedRangeSampler(keys, weights, rng=3)
+        assert scalar_form._flat_tables is None
+        with pytest.raises(shm.ShmShareError, match="scalar path"):
+            shm.export_sampler(scalar_form)
+
+    def test_attach_records_histogram(self, metrics_on):
+        keys, weights = make_keys_weights(500)
+        sampler = TreeWalkRangeSampler(keys, weights, rng=3)
+        manifest, segments = shm.export_sampler(sampler)
+        try:
+            shm.attach_sampler(manifest)
+        finally:
+            shm.unlink_segments(segments)
+        histograms = metrics_on.snapshot()["histograms"]
+        assert histograms["engine.shm_attach_us"]["count"] >= 1
+
+
+class TestEngineIntegration:
+    def test_process_backend_matches_serial(self):
+        keys, weights = make_keys_weights()
+        sampler = TreeWalkRangeSampler(keys, weights, rng=3)
+        requests = range_requests(keys)
+        serial = SamplingEngine(backend="serial", seed=7).run(sampler, requests)
+        with SamplingEngine(backend="process", seed=7, max_workers=2) as engine:
+            token = engine.share(sampler)
+            proc = engine.run_token(token, requests)
+        assert [r.error for r in proc] == [None] * len(proc)
+        assert [[float(v) for v in r.values] for r in proc] == [
+            [float(v) for v in r.values] for r in serial
+        ]
+
+    def test_spawn_start_method(self):
+        keys, weights = make_keys_weights(800)
+        if kernels.HAVE_NUMPY:
+            sampler = AliasAugmentedRangeSampler(keys, weights, rng=3)
+        else:  # scalar build: lemma2 has no flat tables, share a treewalk
+            sampler = TreeWalkRangeSampler(keys, weights, rng=3)
+        requests = range_requests(keys, count=4, s=8)
+        serial = SamplingEngine(backend="serial", seed=7).run(sampler, requests)
+        with SamplingEngine(
+            backend="process", seed=7, max_workers=1, mp_context="spawn"
+        ) as engine:
+            token = engine.share(sampler)
+            proc = engine.run_token(token, requests)
+        assert [r.error for r in proc] == [None] * len(proc)
+        assert [[float(v) for v in r.values] for r in proc] == [
+            [float(v) for v in r.values] for r in serial
+        ]
+
+    def test_invalid_mp_context_rejected(self):
+        with pytest.raises(ValueError, match="mp_context"):
+            SamplingEngine(backend="process", mp_context="telepathy")
+
+    def test_zero_structure_pickling(self, metrics_on):
+        # A 50k-key structure is ~1.2 MB of arrays; the shm token keeps
+        # per-batch serialization at token-size — bytes, not megabytes —
+        # and residency at one attach per worker.
+        keys, weights = make_keys_weights(50_000)
+        sampler = TreeWalkRangeSampler(keys, weights, rng=3)
+        requests = range_requests(keys, count=32, s=16)
+        with SamplingEngine(backend="process", seed=7, max_workers=2) as engine:
+            token = engine.share(sampler)
+            assert shm.manifest_nbytes(token[1]) > 1_000_000
+            results = engine.run_token(token, requests)
+        assert all(r.error is None for r in results)
+        counters = metrics_on.snapshot()["counters"]
+        assert counters["engine.worker_rebuilds"] <= 2
+        assert 0 < counters["engine.serialized_bytes"] < 50_000
+
+    def test_share_is_memoized_per_sampler(self):
+        keys, weights = make_keys_weights(500)
+        sampler = TreeWalkRangeSampler(keys, weights, rng=3)
+        with SamplingEngine(backend="process", seed=7) as engine:
+            first = engine.share(sampler)
+            second = engine.share(sampler)
+            assert first is second
+            assert len(engine._shm_segments) == len(first[1]["arrays"])
+
+
+class TestLifecycle:
+    def test_close_unlinks_segments(self):
+        keys, weights = make_keys_weights(500)
+        sampler = TreeWalkRangeSampler(keys, weights, rng=3)
+        engine = SamplingEngine(backend="process", seed=7, max_workers=1)
+        token = engine.share(sampler)
+        engine.close()
+        assert_unlinked(token[1])
+        assert engine._shm_segments == []
+
+    def test_close_is_idempotent_with_segments(self):
+        keys, weights = make_keys_weights(500)
+        sampler = TreeWalkRangeSampler(keys, weights, rng=3)
+        engine = SamplingEngine(backend="process", seed=7, max_workers=1)
+        token = engine.share(sampler)
+        engine.close()
+        engine.close()
+        assert_unlinked(token[1])
+
+    def test_no_leak_after_worker_crash(self):
+        # A worker hard-dying must not leave segments behind: the parent
+        # still owns them and close() unlinks every one.
+        keys, weights = make_keys_weights(500)
+        sampler = TreeWalkRangeSampler(keys, weights, rng=3)
+        engine = SamplingEngine(backend="process", seed=7, max_workers=2)
+        token = engine.share(sampler)
+        crash = QueryRequest(op="sample", args=("die",), s=3)
+        results = engine.run_token(FAULTY, [crash])
+        assert results[0].error is not None  # the pool actually broke
+        survivors = engine.run_token(token, range_requests(keys, count=4))
+        assert all(r.error is None for r in survivors)
+        engine.close()
+        assert_unlinked(token[1])

@@ -1,0 +1,51 @@
+"""The normalized ``REPRO_*`` environment parsing helper."""
+
+import pytest
+
+from repro.substrates.env import env_flag, env_int
+
+
+class TestEnvFlag:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_FLAG", raising=False)
+        assert env_flag("REPRO_TEST_FLAG") is False
+        assert env_flag("REPRO_TEST_FLAG", default=True) is True
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "False", "NO", "off", " Off "])
+    def test_falsy_spellings(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TEST_FLAG", value)
+        if value.strip():
+            assert env_flag("REPRO_TEST_FLAG") is False
+            # An explicit falsy spelling wins even over default=True.
+            assert env_flag("REPRO_TEST_FLAG", default=True) is False
+        else:
+            # Empty string behaves like unset: the default applies.
+            assert env_flag("REPRO_TEST_FLAG") is False
+            assert env_flag("REPRO_TEST_FLAG", default=True) is True
+
+    @pytest.mark.parametrize("value", ["1", "true", "TRUE", "yes", "on", " On "])
+    def test_truthy_spellings(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TEST_FLAG", value)
+        assert env_flag("REPRO_TEST_FLAG") is True
+
+    def test_unrecognized_nonempty_is_true(self, monkeypatch):
+        # Conservative kill-switch semantics: REPRO_DISABLE_X=banana
+        # disables X rather than being silently ignored.
+        monkeypatch.setenv("REPRO_TEST_FLAG", "banana")
+        assert env_flag("REPRO_TEST_FLAG") is True
+
+
+class TestEnvInt:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_INT", raising=False)
+        assert env_int("REPRO_TEST_INT") is None
+        assert env_int("REPRO_TEST_INT", 7) == 7
+
+    def test_parses_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", " 42 ")
+        assert env_int("REPRO_TEST_INT", 7) == 42
+
+    def test_garbage_raises_with_name(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "many")
+        with pytest.raises(ValueError, match="REPRO_TEST_INT"):
+            env_int("REPRO_TEST_INT", 7)
