@@ -201,6 +201,25 @@ def _engine_run(
     return 0
 
 
+def _exercise_engine_workload(n: int = 512, requests: int = 8, s: int = 4) -> None:
+    """Batch the demo structure through two backends so the flight
+    recorder holds a cross-process request log (parent- and worker-side
+    entries under shared trace IDs)."""
+    from repro.engine import QueryRequest, SamplingEngine, demo_build
+
+    sampler, template = demo_build("range.chunked", n=n)
+
+    def batch():
+        return [
+            QueryRequest(op=template.op, args=template.args, s=s)
+            for _ in range(requests)
+        ]
+
+    SamplingEngine(backend="serial", seed=42).run(sampler, batch())
+    with SamplingEngine(backend="process", seed=42, max_workers=2) as engine:
+        engine.run_token(("demo", "range.chunked", n), batch())
+
+
 def _format_table(snapshot: dict) -> str:
     lines = ["counters:"]
     for name, value in snapshot["counters"].items():
@@ -213,12 +232,31 @@ def _format_table(snapshot: dict) -> str:
         lines.append("histograms:")
         for name, data in snapshot["histograms"].items():
             lines.append(
-                f"  {name:<40} count={data['count']} mean={data['mean']:.3g}"
+                f"  {name:<40} count={data['count']} mean={data['mean']:.3g} "
+                f"p50={data['p50']:.3g} p90={data['p90']:.3g} "
+                f"p99={data['p99']:.3g}"
             )
     lines.append("derived:")
     for name, value in snapshot["derived"].items():
         rendered = "n/a" if value is None else f"{value:.4g}"
         lines.append(f"  {name:<40} {rendered}")
+    return "\n".join(lines)
+
+
+def _format_records(records: list) -> str:
+    if not records:
+        return "flight recorder is empty"
+    lines = [
+        f"{len(records)} flight-recorder records (oldest first):",
+        f"  {'trace':<16}  {'backend':<7}  {'worker':<6}  "
+        f"{'op':<14}  {'s':>4}  {'us':>9}  error",
+    ]
+    for r in records:
+        lines.append(
+            f"  {str(r['trace']):<16}  {r['backend']:<7}  {r['worker']:<6}  "
+            f"{r['op']:<14}  {r['s']:>4}  {r['us']:>9.1f}  "
+            f"{r['error'] or '-'}  [{r['spec']}]"
+        )
     return "\n".join(lines)
 
 
@@ -229,6 +267,7 @@ def _obs_dump(fmt: str, out: str | None, no_workload: bool) -> int:
         if not no_workload:
             obs.reset()
             _exercise_workload()
+            _exercise_engine_workload()
         snapshot = obs.snapshot(include_spans=(fmt == "json"))
     finally:
         if not was_enabled:
@@ -243,6 +282,34 @@ def _obs_dump(fmt: str, out: str | None, no_workload: bool) -> int:
         with open(out, "w", encoding="utf-8") as handle:
             handle.write(text if text.endswith("\n") else text + "\n")
         print(f"wrote {fmt} snapshot to {out}")
+    else:
+        print(text)
+    return 0
+
+
+def _obs_tail(fmt: str, out: str | None, no_workload: bool, limit: int) -> int:
+    """Dump the flight recorder's most recent request records."""
+    import json as json_mod
+
+    was_enabled = obs.ENABLED
+    obs.enable()
+    try:
+        if not no_workload:
+            obs.reset()
+            _exercise_engine_workload()
+        records = obs.tail(limit)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    text = (
+        json_mod.dumps(records, indent=2, sort_keys=True)
+        if fmt == "json"
+        else _format_records(records)
+    )
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {len(records)} records to {out}")
     else:
         print(text)
     return 0
@@ -311,10 +378,18 @@ def main(argv=None) -> int:
         "obs", help="run a representative workload and dump the metrics snapshot"
     )
     obs_parser.add_argument(
+        "action",
+        nargs="?",
+        choices=("dump", "tail"),
+        default="dump",
+        help="dump: full metrics snapshot (default); tail: the flight "
+             "recorder's recent request records",
+    )
+    obs_parser.add_argument(
         "--format",
         choices=("table", "json", "prometheus"),
         default="table",
-        help="output format (default: table)",
+        help="output format (default: table; tail supports table and json)",
     )
     obs_parser.add_argument(
         "--out", metavar="PATH", default=None, help="write to a file instead of stdout"
@@ -323,6 +398,10 @@ def main(argv=None) -> int:
         "--no-workload",
         action="store_true",
         help="dump current process counters without running the exercise workload",
+    )
+    obs_parser.add_argument(
+        "-n", "--limit", type=int, default=32,
+        help="with tail: number of records to show, newest kept (default: 32)",
     )
     args = parser.parse_args(argv)
     if args.command == "engine":
@@ -334,6 +413,10 @@ def main(argv=None) -> int:
             jit=args.jit, shm=args.shm,
         )
     if args.command == "obs":
+        if args.action == "tail":
+            if args.format == "prometheus":
+                parser.error("obs tail supports --format table or json")
+            return _obs_tail(args.format, args.out, args.no_workload, args.limit)
         return _obs_dump(args.format, args.out, args.no_workload)
     return _info()
 

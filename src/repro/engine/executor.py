@@ -49,6 +49,7 @@ import os
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from difflib import get_close_matches
+from time import perf_counter
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
@@ -78,6 +79,22 @@ _SERIALIZED = obs.counter(
     "engine.serialized_bytes",
     "Build-token bytes pickled to process-backend workers (per chunk)",
 )
+_HARVESTS = obs.counter(
+    "engine.harvested_chunks",
+    "Worker metric deltas merged into the parent registry",
+)
+_REQUEST_US = obs.histogram(
+    "engine.request_us",
+    "Per-request end-to-end sampler execution latency (microseconds)",
+)
+
+
+def _attach_flight(error: Exception, trace_id: Optional[str]) -> None:
+    """Stamp the trace's flight records onto a captured exception."""
+    try:
+        error.flight_records = obs.RECORDER.for_trace(trace_id)
+    except Exception:  # exceptions with __slots__ cannot carry extras
+        pass
 
 
 def spec_token(spec: str, params: Mapping[str, Any]) -> Tuple[Any, ...]:
@@ -187,6 +204,37 @@ class SamplingEngine:
             for index, request in enumerate(requests)
         ]
 
+    def trace_ids_for(self, requests: Sequence[QueryRequest]) -> List[str]:
+        """The effective trace ID of each request in a batch.
+
+        Explicit ``request.trace_id`` wins; otherwise the ID is a
+        stateless hash of the request's seed base and batch index
+        (:func:`repro.obs.trace_id_for`) — deterministic, derived from
+        the same seed stream as the per-request RNG seeds but
+        domain-separated from it, and consuming no randomness, so sample
+        streams are byte-identical whether or not anyone looks at the
+        trace.
+        """
+        base = DEFAULT_SEED if self._seed is None else self._seed
+        return [
+            request.trace_id
+            if request.trace_id is not None
+            else obs.trace_id_for(
+                request.seed if request.seed is not None else base, index
+            )
+            for index, request in enumerate(requests)
+        ]
+
+    def _assign_traces(self, requests: Sequence[QueryRequest]) -> List[str]:
+        """Stamp engine-derived trace IDs onto requests lacking one."""
+        traces = self.trace_ids_for(requests)
+        for request, trace in zip(requests, traces):
+            if request.trace_id is None:
+                # QueryRequest is frozen for hashing/equality hygiene;
+                # the engine is the one sanctioned writer of this field.
+                object.__setattr__(request, "trace_id", trace)
+        return traces
+
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
@@ -264,6 +312,7 @@ class SamplingEngine:
             _BATCHES.inc()
             _REQUESTS.add(len(batch))
         seeds = self.seeds_for(batch)
+        self._assign_traces(batch)
         if enabled:
             with obs.span(
                 "engine.run",
@@ -315,16 +364,19 @@ class SamplingEngine:
         if enabled:
             _BATCHES.inc()
             _REQUESTS.add(len(batch))
-        jobs = list(zip(batch, self.seeds_for(batch)))
+        seeds = self.seeds_for(batch)
+        self._assign_traces(batch)
+        jobs = list(zip(batch, seeds))
+        spec = str(token[1]) if len(token) > 1 else "?"
         if enabled:
             with obs.span(
                 "engine.run",
                 backend=self.backend,
                 requests=len(batch),
-                sampler=str(token[1]) if len(token) > 1 else "?",
+                sampler=spec,
             ):
-                return self._dispatch_process(key, token, jobs)
-        return self._dispatch_process(key, token, jobs)
+                return self._dispatch_process(key, token, jobs, spec)
+        return self._dispatch_process(key, token, jobs, spec)
 
     # ------------------------------------------------------------------
 
@@ -347,18 +399,55 @@ class SamplingEngine:
     def _execute_one(
         self, sampler: Sampler, request: QueryRequest, seed: Optional[int]
     ) -> QueryResult:
+        enabled = obs.ENABLED
+        spec = getattr(sampler, "engine_spec", None) or type(sampler).__name__
+        trace_token = obs.set_current_trace(request.trace_id) if enabled else None
         try:
-            result = sampler.execute(
-                request, rng=None if seed is None else ensure_rng(seed)
-            )
-            result.seed = seed
+            started = perf_counter() if enabled else 0.0
+            try:
+                result = sampler.execute(
+                    request, rng=None if seed is None else ensure_rng(seed)
+                )
+                result.seed = seed
+            except Exception as exc:
+                if self._errors == "raise":
+                    raise
+                result = QueryResult(
+                    request=request,
+                    values=None,
+                    seed=seed,
+                    error=exc,
+                    trace_id=request.trace_id,
+                )
+                if enabled:
+                    _ERRORS.inc()
+                    result.elapsed_s = perf_counter() - started
+            if enabled:
+                self._record_result(result, spec)
             return result
-        except Exception as exc:
-            if self._errors == "raise":
-                raise
-            if obs.ENABLED:
-                _ERRORS.inc()
-            return QueryResult(request=request, values=None, seed=seed, error=exc)
+        finally:
+            if trace_token is not None:
+                obs.reset_current_trace(trace_token)
+
+    def _record_result(self, result: QueryResult, spec: str) -> None:
+        """Feed one settled request into the latency histogram and the
+        flight recorder; flush matching records onto captured errors."""
+        duration_us = (result.elapsed_s or 0.0) * 1e6
+        if result.ok:
+            _REQUEST_US.observe(duration_us)
+        obs.RECORDER.record(
+            trace=result.trace_id,
+            spec=spec,
+            op=result.request.op,
+            s=result.request.s,
+            backend=self.backend,
+            duration_us=duration_us,
+            error=type(result.error).__name__ if result.error is not None else None,
+        )
+        if result.error is not None:
+            # A captured failure ships its own diagnostic context: every
+            # retained record for this trace (including the one above).
+            _attach_flight(result.error, result.trace_id)
 
     # -- shard backend -------------------------------------------------
 
@@ -405,25 +494,44 @@ class SamplingEngine:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
 
+    def _merge_envelope(self, rebuilds: int, delta: Optional[dict]) -> None:
+        """Fold one worker envelope's accounting into the parent registry.
+
+        Called exactly once per successfully returned chunk (phase 1) or
+        retry (phase 2) — crash-safe by construction: a worker that died
+        never returned an envelope, so nothing it half-did is merged,
+        and the retried execution merges its own fresh delta once.
+        """
+        if rebuilds:
+            _REBUILDS.add(rebuilds)
+        if delta is not None:
+            _HARVESTS.inc()
+            obs.merge(delta)
+
     def _dispatch_process(
         self,
         key: bytes,
         token: Tuple[Any, ...],
         jobs: List[Tuple[QueryRequest, Optional[int]]],
+        spec: str = "?",
     ) -> List[QueryResult]:
-        """Chunked fan-out with crash recovery.
+        """Chunked fan-out with crash recovery and metric harvest.
 
         Phase 1 submits order-preserving chunks to the persistent pool
         (the token rides along once per chunk; workers cache the built
-        sampler, so residency costs one build per worker). If a worker
-        dies the pool breaks and every unfinished chunk fails; phase 2
-        then retries each unresolved request individually on a fresh
-        pool, so one crashing request cannot poison its batchmates — the
-        crasher alone ends up with a
+        sampler, so residency costs one build per worker). With metrics
+        enabled, each chunk's envelope also carries a registry delta of
+        everything the worker recorded executing it
+        (:mod:`repro.obs.harvest`), merged here exactly once per resolved
+        future. If a worker dies the pool breaks and every unfinished
+        chunk fails; phase 2 then retries each unresolved request
+        individually on a fresh pool, so one crashing request cannot
+        poison its batchmates — the crasher alone ends up with a
         :class:`~repro.errors.WorkerCrashedError` envelope.
         """
         from repro.engine.worker import execute_chunk
 
+        enabled = obs.ENABLED
         results: List[Optional[QueryResult]] = [None] * len(jobs)
         if jobs:
             chunk_size = max(1, math.ceil(len(jobs) / (self.max_workers * 4)))
@@ -433,11 +541,13 @@ class SamplingEngine:
             for start in range(0, len(jobs), chunk_size):
                 chunk = jobs[start:start + chunk_size]
                 try:
-                    future = pool.submit(execute_chunk, key, token, chunk)
+                    future = pool.submit(
+                        execute_chunk, key, token, chunk, harvest=enabled
+                    )
                 except BrokenExecutor:
                     broke = True
                     break
-                if obs.ENABLED:
+                if enabled:
                     # The token pickles to `key`, and rides along once per
                     # chunk — this is the structure-serialization cost the
                     # shm tokens keep O(1) in n.
@@ -445,12 +555,12 @@ class SamplingEngine:
                 submitted.append((start, chunk, future))
             for start, chunk, future in submitted:
                 try:
-                    rebuilds, chunk_results = future.result()
+                    rebuilds, chunk_results, delta = future.result()
                 except BrokenExecutor:
                     broke = True
                     continue
-                if obs.ENABLED and rebuilds:
-                    _REBUILDS.add(rebuilds)
+                if enabled:
+                    self._merge_envelope(rebuilds, delta)
                 results[start:start + len(chunk)] = chunk_results
             if broke:
                 self._discard_pool()
@@ -460,24 +570,39 @@ class SamplingEngine:
                     continue
                 pool = self._ensure_pool()
                 try:
-                    if obs.ENABLED:
+                    if enabled:
                         _SERIALIZED.add(len(key))
-                    rebuilds, (single,) = pool.submit(
-                        execute_chunk, key, token, [(request, seed)]
+                    rebuilds, (single,), delta = pool.submit(
+                        execute_chunk, key, token, [(request, seed)],
+                        harvest=enabled,
                     ).result()
-                    if obs.ENABLED and rebuilds:
-                        _REBUILDS.add(rebuilds)
+                    if enabled:
+                        self._merge_envelope(rebuilds, delta)
                 except BrokenExecutor as exc:
                     self._discard_pool()
                     single = QueryResult(
                         request=request,
                         values=None,
                         seed=seed,
+                        trace_id=request.trace_id,
                         error=WorkerCrashedError(
                             f"process-backend worker died executing request "
                             f"{index} (op {request.op!r}): {exc!r}"
                         ),
                     )
+                    if enabled:
+                        # The worker's own record died with it — log the
+                        # crash envelope parent-side so the flight
+                        # recorder still explains the failure.
+                        obs.RECORDER.record(
+                            trace=request.trace_id,
+                            spec=spec,
+                            op=request.op,
+                            s=request.s,
+                            backend=self.backend,
+                            duration_us=0.0,
+                            error=type(single.error).__name__,
+                        )
                 results[index] = single
         out: List[QueryResult] = []
         for result in results:
@@ -485,7 +610,10 @@ class SamplingEngine:
             if result.error is not None:
                 if self._errors == "raise":
                     raise result.error
-                if obs.ENABLED:
+                if enabled:
                     _ERRORS.inc()
+                    _attach_flight(result.error, result.trace_id)
+            elif enabled:
+                _REQUEST_US.observe((result.elapsed_s or 0.0) * 1e6)
             out.append(result)
         return out

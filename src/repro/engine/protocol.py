@@ -78,6 +78,14 @@ class QueryRequest:
         sampler's own instance stream.
     tag:
         Opaque caller correlation value, echoed on the result.
+    trace_id:
+        Correlation ID for observability. ``None`` (the default) lets
+        the engine assign a deterministic one derived from the batch
+        seed stream (:func:`repro.obs.trace_id_for` — a stateless hash,
+        so sample streams stay byte-identical); set it explicitly to
+        thread an upstream trace through. Echoed on the result and
+        attached to every span and flight-recorder entry the request
+        produces, across all backends.
     """
 
     op: str = "sample"
@@ -85,6 +93,7 @@ class QueryRequest:
     s: int = 1
     seed: Optional[int] = None
     tag: Any = None
+    trace_id: Optional[str] = None
 
     def validate(self) -> "QueryRequest":
         """Check the request's common fields; return it for chaining.
@@ -105,6 +114,10 @@ class QueryRequest:
             raise TypeError(f"request seed must be an int or None, got {type(self.seed)!r}")
         if not isinstance(self.args, tuple):
             raise TypeError(f"request args must be a tuple, got {type(self.args)!r}")
+        if self.trace_id is not None and not isinstance(self.trace_id, str):
+            raise TypeError(
+                f"request trace_id must be a str or None, got {type(self.trace_id)!r}"
+            )
         return self
 
 
@@ -124,6 +137,7 @@ class QueryResult:
     seed: Optional[int] = None
     elapsed_s: float = 0.0
     error: Optional[Exception] = None
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -261,6 +275,7 @@ class EngineSampler:
             values=values,
             seed=seed,
             elapsed_s=elapsed,
+            trace_id=request.trace_id,
         )
 
     def execute_many(

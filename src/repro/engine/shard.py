@@ -264,8 +264,21 @@ class ShardedSampler(RangeSamplerBase):
         The merge concatenates shard results in shard order — a
         deterministic order regardless of which worker finishes first.
         The multiset of returned indices follows exactly the unsharded
-        weighted distribution over ``[lo, hi)``.
+        weighted distribution over ``[lo, hi)``. With metrics enabled the
+        whole fan-out is bracketed by an ``engine.shard_fanout`` span
+        that carries the executing request's trace ID (the engine sets
+        the current-trace context before dispatching to this sampler),
+        so a per-request timeline shows how many shards a query touched
+        and how long the split-draw-merge took.
         """
+        if not obs.ENABLED:
+            return self._fan_out(lo, hi, s, rng)
+        with obs.span("engine.shard_fanout", s=s) as fanout_span:
+            return self._fan_out(lo, hi, s, rng, fanout_span)
+
+    def _fan_out(
+        self, lo: int, hi: int, s: int, rng: RNGLike = None, span: Any = None
+    ) -> List[int]:
         generator = ensure_rng(rng) if rng is not None else self._rng
         # One stateless base per request: the split and every shard
         # stream derive from it, so concurrency cannot reorder
@@ -274,6 +287,8 @@ class ShardedSampler(RangeSamplerBase):
         active = self._active_shards(lo, hi)
         if obs.ENABLED:
             _SHARDS.add(len(active))
+            if span is not None:
+                span.set(shards=len(active))
         if not active:
             raise EmptyQueryError(
                 f"no keys in index span [{lo}, {hi}) across "

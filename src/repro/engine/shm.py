@@ -450,5 +450,15 @@ def attach_sampler(manifest: Dict[str, Any]) -> Any:
     arrays = {name: _attach_array(entry) for name, entry in manifest["arrays"].items()}
     sampler = attach(arrays, manifest["meta"])
     if obs.ENABLED:
-        _ATTACH_US.observe((perf_counter() - start) * 1e6)
+        duration_us = (perf_counter() - start) * 1e6
+        _ATTACH_US.observe(duration_us)
+        # Also leave a trace-tagged span: attaches happen inside
+        # process-backend workers mid-request, so the executing request's
+        # trace ID (current-trace context) ties the attach cost into that
+        # request's timeline once the delta is harvested home.
+        attrs = {"kind": kind}
+        trace = obs.current_trace()
+        if trace is not None:
+            attrs["trace"] = trace
+        obs.REGISTRY.record_span("engine.shm_attach", duration_us, attrs)
     return sampler

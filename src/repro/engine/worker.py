@@ -27,6 +27,15 @@ envelope, so one bad request cannot poison the pool; only a worker that
 dies outright (``os._exit``, OOM-kill) surfaces as a broken-pool error,
 which the parent converts into per-request
 :class:`~repro.errors.WorkerCrashedError` envelopes.
+
+**Metric harvest** (``harvest=True``, set by the parent iff its metrics
+are enabled): the worker enables its own registry, brackets the chunk
+with a :func:`repro.obs.harvest.baseline` / ``delta_since`` pair, tags
+every execution with the request's trace ID (a ``worker.execute`` span
+plus a flight-recorder entry carrying this PID), and returns the delta
+as the third envelope element. The parent merges it once per resolved
+future — a crashed worker returns no envelope, so its partial counts die
+with it and a retried request is never double-counted.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ import importlib
 import pickle
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.engine.protocol import QueryRequest, QueryResult
 from repro.substrates.rng import ensure_rng
 
@@ -84,33 +94,82 @@ def execute_chunk(
     key: bytes,
     token: Tuple[Any, ...],
     jobs: List[Tuple[QueryRequest, Optional[int]]],
-) -> Tuple[int, List[QueryResult]]:
+    harvest: bool = False,
+) -> Tuple[int, List[QueryResult], Optional[dict]]:
     """Execute a chunk of ``(request, seed)`` jobs on the resident sampler.
 
-    Returns ``(rebuilds, results)`` where ``rebuilds`` is 1 when this
-    call had to (re)build the sampler — the parent feeds it into the
-    ``engine.worker_rebuilds`` counter. Results are order-preserving and
-    every failure is captured into the per-request envelope.
+    Returns ``(rebuilds, results, delta)`` where ``rebuilds`` is 1 when
+    this call had to (re)build the sampler — the parent feeds it into the
+    ``engine.worker_rebuilds`` counter — and ``delta`` is the harvest
+    payload of everything this chunk recorded in the worker registry
+    (``None`` unless ``harvest``). Results are order-preserving and every
+    failure is captured into the per-request envelope.
     """
+    base: Optional[dict] = None
+    if harvest:
+        from repro.obs import harvest as harvest_mod
+
+        # The parent may have enabled metrics after this worker forked
+        # (or the pool spawned without REPRO_METRICS): the per-chunk flag
+        # is authoritative. Enabling is sticky — residency makes this
+        # worker serve many chunks, and re-disabling between chunks
+        # would only race the next flag.
+        obs.enable()
+        base = harvest_mod.baseline()
     rebuilds = 0
     sampler = _RESIDENT.get(key)
     results: List[QueryResult] = []
     for request, seed in jobs:
+        trace_token = (
+            obs.set_current_trace(request.trace_id) if harvest else None
+        )
         try:
             if sampler is None:
-                sampler = build_from_token(token)
+                with obs.span("worker.build", kind=str(token[0])):
+                    sampler = build_from_token(token)
                 _RESIDENT[key] = sampler
                 rebuilds = 1
-            result = sampler.execute(
-                request, rng=None if seed is None else ensure_rng(seed)
-            )
+            with obs.span("worker.execute", op=request.op):
+                result = sampler.execute(
+                    request, rng=None if seed is None else ensure_rng(seed)
+                )
             result.seed = seed
         except Exception as exc:
             result = QueryResult(
                 request=request,
                 values=None,
                 seed=seed,
+                trace_id=request.trace_id,
                 error=_picklable_error(exc),
             )
+        finally:
+            if trace_token is not None:
+                obs.reset_current_trace(trace_token)
+        if harvest:
+            obs.RECORDER.record(
+                trace=request.trace_id,
+                spec=_spec_label(token),
+                op=request.op,
+                s=request.s,
+                backend="process",
+                duration_us=(result.elapsed_s or 0.0) * 1e6,
+                error=(
+                    type(result.error).__name__
+                    if result.error is not None
+                    else None
+                ),
+            )
         results.append(result)
-    return rebuilds, results
+    if harvest:
+        return rebuilds, results, harvest_mod.delta_since(base)
+    return rebuilds, results, None
+
+
+def _spec_label(token: Tuple[Any, ...]) -> str:
+    """A short human label for the structure a build token describes."""
+    kind = token[0]
+    if kind in ("spec", "demo", "call") and len(token) > 1:
+        return str(token[1])
+    if kind == "shm" and len(token) > 1:
+        return f"shm:{token[1].get('kind', '?')}"
+    return str(kind)

@@ -42,6 +42,7 @@ from typing import Optional, Sequence, Union
 from repro.substrates.env import env_flag
 
 from repro.obs.export import to_json, to_prometheus, write_sidecar
+from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -49,7 +50,15 @@ from repro.obs.registry import (
     MetricsRegistry,
     DERIVED_RATIOS,
 )
-from repro.obs.trace import NULL_SPAN, NullSpan, SpanTimer
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullSpan,
+    SpanTimer,
+    current_trace,
+    reset_current_trace,
+    set_current_trace,
+    trace_id_for,
+)
 
 #: Environment variable controlling the import-time default; parsed by
 #: :func:`repro.substrates.env.env_flag` (truthy: ``1``/``true``/``yes``/
@@ -62,6 +71,9 @@ ENV_SIDECAR = "REPRO_METRICS_SIDECAR"
 
 #: The process-wide registry every instrumented module records into.
 REGISTRY = MetricsRegistry()
+
+#: The process-wide flight recorder the engine appends request records to.
+RECORDER = FlightRecorder(DEFAULT_CAPACITY)
 
 #: Global enablement flag. Instrumented call sites read this directly
 #: (``if obs.ENABLED:``) — mutate it only through :func:`enable` /
@@ -154,13 +166,55 @@ def snapshot(include_spans: bool = True) -> dict:
 
 
 def reset() -> None:
-    """Zero every instrument and drop retained spans (names survive).
+    """Zero every instrument, drop retained spans and flight records
+    (names survive).
 
     Call between experiments sharing one process so per-experiment
     sidecars don't accumulate stale counts (e.g. EM I/Os from an earlier
     run — the failure mode that motivated making this explicit).
     """
     REGISTRY.reset()
+    RECORDER.clear()
+
+
+def merge(delta: dict) -> None:
+    """Fold a harvest delta (:func:`repro.obs.harvest.delta_since`) into
+    the process-wide registry and flight recorder.
+
+    Counters sum, histograms merge bucket-wise (mismatched bucket bounds
+    raise), gauges last-write, unknown metrics auto-register; worker
+    spans and flight records are appended to the parent's rings. The
+    engine calls this once per successfully returned worker chunk.
+    """
+    REGISTRY.merge(delta)
+    RECORDER.extend(delta.get("records", ()))
+
+
+def tail(limit: Optional[int] = None) -> list:
+    """The flight recorder's most recent ``limit`` records, oldest first."""
+    return RECORDER.tail(limit)
+
+
+def timeline(trace_id: str) -> dict:
+    """Everything retained about one trace: its flight records and spans.
+
+    Reassembles a per-request timeline across backends from the two
+    bounded rings — recorder entries (parent- and worker-side; the
+    ``worker`` PID tells them apart) and trace-tagged spans — each sorted
+    by wall-clock timestamp. Only as complete as the rings are deep;
+    this is a debugging aid, not an audit log.
+    """
+    records = RECORDER.for_trace(trace_id)
+    spans = [
+        s
+        for s in REGISTRY.recent_spans()
+        if s.get("attrs", {}).get("trace") == trace_id
+    ]
+    return {
+        "trace": trace_id,
+        "records": sorted(records, key=lambda r: r["ts"]),
+        "spans": sorted(spans, key=lambda s: s.get("ts", 0.0)),
+    }
 
 
 def export_json(indent: int = 2) -> str:
@@ -175,6 +229,7 @@ def export_prometheus() -> str:
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -183,6 +238,7 @@ __all__ = [
     "DERIVED_RATIOS",
     "ENV_ENABLED",
     "ENV_SIDECAR",
+    "RECORDER",
     "REGISTRY",
     "ENABLED",
     "enabled",
@@ -190,9 +246,16 @@ __all__ = [
     "disable",
     "scope",
     "counter",
+    "current_trace",
     "gauge",
     "histogram",
+    "merge",
+    "reset_current_trace",
+    "set_current_trace",
     "span",
+    "tail",
+    "timeline",
+    "trace_id_for",
     "value",
     "snapshot",
     "reset",

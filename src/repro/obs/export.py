@@ -37,22 +37,39 @@ def to_json(snapshot: dict, indent: int = 2) -> str:
     return json.dumps(snapshot, indent=indent, sort_keys=True, default=str)
 
 
+def _escape_help(text: str) -> str:
+    # Prometheus HELP values escape backslash and newline only.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def to_prometheus(snapshot: dict) -> str:
     """Render a snapshot in the Prometheus text exposition format.
 
     Counters become ``repro_<name>_total``, gauges and derived ratios
     plain gauges, histograms the standard ``_bucket``/``_sum``/``_count``
-    triplet. Span records are not exported individually — their latency
-    distributions are already present as ``span.<name>.us`` histograms.
+    triplet plus bucket-interpolated ``_p50``/``_p90``/``_p99`` gauges
+    (scrapers without ``histogram_quantile`` at hand get tail latency for
+    free). Registered help strings (the snapshot's ``help`` map) are
+    emitted as ``# HELP`` lines ahead of each ``# TYPE``. Span records
+    are not exported individually — their latency distributions are
+    already present as ``span.<name>.us`` histograms.
     """
+    help_map = snapshot.get("help", {})
     lines = []
+
+    def _describe(raw_name: str, metric: str, kind: str) -> None:
+        help_text = help_map.get(raw_name)
+        if help_text:
+            lines.append(f"# HELP {metric} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {metric} {kind}")
+
     for name, value in snapshot.get("counters", {}).items():
         metric = _prom_name(name, "_total")
-        lines.append(f"# TYPE {metric} counter")
+        _describe(name, metric, "counter")
         lines.append(f"{metric} {value}")
     for name, value in snapshot.get("gauges", {}).items():
         metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} gauge")
+        _describe(name, metric, "gauge")
         lines.append(f"{metric} {_prom_value(value)}")
     for name, value in snapshot.get("derived", {}).items():
         metric = _prom_name("derived_" + name)
@@ -60,12 +77,17 @@ def to_prometheus(snapshot: dict) -> str:
         lines.append(f"{metric} {_prom_value(value)}")
     for name, data in snapshot.get("histograms", {}).items():
         metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} histogram")
+        _describe(name, metric, "histogram")
         for le, count in data["buckets"]:
             le_str = "+Inf" if le == "+Inf" else _prom_value(le)
             lines.append(f'{metric}_bucket{{le="{le_str}"}} {count}')
         lines.append(f"{metric}_sum {_prom_value(data['sum'])}")
         lines.append(f"{metric}_count {data['count']}")
+        for q_key in ("p50", "p90", "p99"):
+            if q_key in data:
+                q_metric = _prom_name(name, f"_{q_key}")
+                lines.append(f"# TYPE {q_metric} gauge")
+                lines.append(f"{q_metric} {_prom_value(data[q_key])}")
     return "\n".join(lines) + "\n"
 
 

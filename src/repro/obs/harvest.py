@@ -1,0 +1,136 @@
+"""Worker metric harvest: baseline/delta capture for cross-process merge.
+
+The metrics registry is process-local, so every counter a
+process-backend worker increments (alias draws, BST visits, rejection
+loops, shm attaches) would vanish with the worker. The harvest protocol
+closes that gap without shared memory or a metrics socket:
+
+1. The worker takes a :func:`baseline` of its registry before executing
+   a chunk (cheap: one dict of ints per instrument kind).
+2. After the chunk it computes :func:`delta_since` — only the
+   instruments that *moved*, as picklable plain data (counter deltas,
+   bucket-wise histogram deltas with their bounds, gauge last values,
+   spans and flight records appended since the baseline).
+3. The delta rides home inside the chunk's existing result envelope and
+   the parent folds it in via :meth:`repro.obs.MetricsRegistry.merge`
+   (counters sum, histograms merge bucket-wise, gauges last-write).
+
+Crash safety is structural, not bookkept: a delta exists only inside a
+successfully returned envelope. A worker that dies mid-chunk returns
+nothing — its partial counts die with it — and the parent's per-request
+retry produces a fresh, single-execution delta. A chunk whose future
+*did* resolve is merged exactly once (the parent merges at
+``future.result()`` time). So a retried request after a
+``WorkerCrashedError`` is never double-counted.
+
+The baseline/delta pair also works intra-process (any code that wants
+"what did this block record" without resetting the global registry), so
+the functions take the registry explicitly and default to the global
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["baseline", "delta_since"]
+
+
+def _global_registry() -> MetricsRegistry:
+    from repro import obs
+
+    return obs.REGISTRY
+
+
+def _global_recorder() -> FlightRecorder:
+    from repro import obs
+
+    return obs.RECORDER
+
+
+def baseline(
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[FlightRecorder] = None,
+) -> Dict[str, Any]:
+    """Snapshot the registry's current totals as a delta reference point.
+
+    O(instruments) dict copies — no histograms are walked bucket-wise
+    until :func:`delta_since` finds one whose count moved.
+    """
+    registry = registry if registry is not None else _global_registry()
+    recorder = recorder if recorder is not None else _global_recorder()
+    return {
+        "counters": {n: c.value for n, c in registry._counters.items()},
+        "gauges": {n: g.value for n, g in registry._gauges.items()},
+        "histograms": {
+            n: (h.count, h.sum) for n, h in registry._histograms.items()
+        },
+        "histogram_counts": {
+            n: list(h._counts) for n, h in registry._histograms.items()
+        },
+        "span_total": registry.span_total,
+        "record_total": recorder.total,
+    }
+
+
+def delta_since(
+    base: Dict[str, Any],
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[FlightRecorder] = None,
+) -> Dict[str, Any]:
+    """Everything recorded since ``base``, as a picklable merge payload.
+
+    The payload is exactly what :meth:`MetricsRegistry.merge` consumes:
+
+    * ``counters`` — name → non-negative increment (only movers).
+    * ``gauges`` — name → current value (only instruments whose value
+      changed; merge semantics are last-write).
+    * ``histograms`` — name → ``{"bounds", "counts", "count", "sum"}``
+      with per-bucket *deltas* (only histograms whose count moved).
+    * ``spans`` / ``records`` — span dicts and flight-recorder records
+      appended since the baseline (bounded by the ring sizes).
+    * ``help`` — help strings for the instruments present in the delta,
+      so the parent can auto-register metrics it has never imported.
+    """
+    registry = registry if registry is not None else _global_registry()
+    recorder = recorder if recorder is not None else _global_recorder()
+    counters: Dict[str, int] = {}
+    for name, instrument in registry._counters.items():
+        moved = instrument.value - base["counters"].get(name, 0)
+        if moved:
+            counters[name] = moved
+    gauges: Dict[str, float] = {}
+    for name, instrument in registry._gauges.items():
+        previous = base["gauges"].get(name)
+        if previous is None or instrument.value != previous:
+            gauges[name] = instrument.value
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for name, instrument in registry._histograms.items():
+        prior_count, prior_sum = base["histograms"].get(name, (0, 0.0))
+        if instrument.count == prior_count:
+            continue
+        prior_counts = base["histogram_counts"].get(
+            name, [0] * (len(instrument.buckets) + 1)
+        )
+        histograms[name] = {
+            "bounds": list(instrument.buckets),
+            "counts": [
+                now - before
+                for now, before in zip(instrument._counts, prior_counts)
+            ],
+            "count": instrument.count - prior_count,
+            "sum": instrument.sum - prior_sum,
+        }
+    help_strings = registry.help_strings()
+    touched = set(counters) | set(gauges) | set(histograms)
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "spans": registry.spans_since(base["span_total"]),
+        "records": recorder.since(base["record_total"]),
+        "help": {n: h for n, h in help_strings.items() if n in touched},
+    }

@@ -1,0 +1,125 @@
+"""Flight recorder: a bounded ring buffer of recent request records.
+
+Counters and histograms answer "how much, in aggregate"; the flight
+recorder answers "what just happened". Every request the engine executes
+(on any backend, metrics enabled) appends one small dict —
+
+``{"ts", "trace", "spec", "op", "s", "backend", "worker", "us", "error"}``
+
+— to a ring of the most recent :data:`DEFAULT_CAPACITY` records. The
+ring is cheap enough to leave on under load (append to a bounded deque;
+no allocation beyond the record itself) and is the diagnostic payload in
+three places:
+
+* ``python -m repro obs tail`` dumps the tail, newest last, like a
+  request log.
+* When the engine captures a per-request failure (``errors="capture"``),
+  the records sharing the failed request's trace ID are flushed onto the
+  exception as ``error.flight_records`` — a failed batch carries its own
+  context instead of requiring a metrics-enabled re-run.
+* Process-backend workers ship their records home inside the harvest
+  delta (:mod:`repro.obs.harvest`), so the parent's recorder interleaves
+  worker-side executions with its own, reconstructing the cross-process
+  request timeline.
+
+Records are plain picklable dicts; ``worker`` is the executing process's
+PID, which is what distinguishes parent-side from worker-side entries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+__all__ = ["DEFAULT_CAPACITY", "FlightRecorder"]
+
+#: Ring capacity of the process-wide recorder (:data:`repro.obs.RECORDER`).
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Bounded ring of request records with trace-ID lookup."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"recorder capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._records: Deque[dict] = deque(maxlen=capacity)
+        # Monotonic count of records ever appended: harvest baselines use
+        # it to identify "records since", immune to ring wraparound.
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def total(self) -> int:
+        """Records ever appended (monotonic; survives wraparound)."""
+        return self._total
+
+    def record(
+        self,
+        *,
+        trace: Optional[str],
+        spec: str,
+        op: str,
+        s: int,
+        backend: str,
+        duration_us: float,
+        error: Optional[str] = None,
+        worker: Optional[int] = None,
+        ts: Optional[float] = None,
+    ) -> dict:
+        """Append one request record; returns it (already in the ring)."""
+        entry = {
+            "ts": time.time() if ts is None else ts,
+            "trace": trace,
+            "spec": spec,
+            "op": op,
+            "s": s,
+            "backend": backend,
+            "worker": os.getpid() if worker is None else worker,
+            "us": duration_us,
+            "error": error,
+        }
+        self._records.append(entry)
+        self._total += 1
+        return entry
+
+    def extend(self, records: Iterable[dict]) -> None:
+        """Append already-built records (harvested from a worker)."""
+        for entry in records:
+            self._records.append(entry)
+            self._total += 1
+
+    def tail(self, limit: Optional[int] = None) -> List[dict]:
+        """The most recent ``limit`` records (all retained when ``None``),
+        oldest first."""
+        records = list(self._records)
+        if limit is not None and limit >= 0:
+            records = records[len(records) - min(limit, len(records)):]
+        return records
+
+    def for_trace(self, trace_id: Optional[str]) -> List[dict]:
+        """Retained records whose trace matches ``trace_id``, oldest first."""
+        return [r for r in self._records if r["trace"] == trace_id]
+
+    def since(self, total: int) -> List[dict]:
+        """Records appended after the point where :attr:`total` was ``total``."""
+        fresh = self._total - total
+        if fresh <= 0:
+            return []
+        records = list(self._records)
+        return records[-fresh:] if fresh < len(records) else records
+
+    def clear(self) -> None:
+        """Drop every retained record (the monotonic total survives)."""
+        self._records.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FlightRecorder(len={len(self._records)}, "
+            f"capacity={self.capacity}, total={self._total})"
+        )

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from time import time
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 
 class Counter:
@@ -138,10 +139,59 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus-style).
+
+        Walks the cumulative bucket counts to the bucket containing the
+        ``q``-th observation and interpolates linearly inside it (the
+        first bucket's lower edge is taken as 0, matching
+        ``histogram_quantile``). Observations that landed in the implicit
+        ``+Inf`` bucket clamp to the largest finite bound — the estimate
+        is a lower bound there, which is the standard trade-off of
+        fixed-bucket quantiles. Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        running = 0
+        lower = 0.0
+        for bound, in_bucket in zip(self.buckets, self._counts):
+            if in_bucket and running + in_bucket >= target:
+                fraction = (target - running) / in_bucket
+                return lower + (bound - lower) * fraction
+            running += in_bucket
+            lower = bound
+        return self.buckets[-1]
+
     def reset(self) -> None:
         self._counts = [0] * (len(self.buckets) + 1)
         self._count = 0
         self._sum = 0.0
+
+    def merge_counts(
+        self, counts: Sequence[int], count: int, total: float
+    ) -> None:
+        """Fold another histogram's per-bucket deltas into this one.
+
+        ``counts`` must align with this histogram's buckets (callers —
+        i.e. :meth:`MetricsRegistry.merge` — validate bucket bounds
+        before resolving the target instrument).
+        """
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name}: cannot merge {len(counts)} bucket "
+                f"counts into {len(self._counts)} buckets"
+            )
+        if count < 0 or any(c < 0 for c in counts):
+            raise ValueError(
+                f"histogram {self.name}: merge deltas must be non-negative"
+            )
+        for index, delta in enumerate(counts):
+            self._counts[index] += delta
+        self._count += count
+        self._sum += total
 
     def bucket_pairs(self) -> List[Tuple[float, int]]:
         """Cumulative ``(le, count)`` pairs, Prometheus-style."""
@@ -205,6 +255,9 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._spans: Deque[dict] = deque(maxlen=SPAN_BUFFER)
+        # Monotonic count of spans ever recorded: lets harvest baselines
+        # identify "spans since" even after the bounded deque wraps.
+        self._span_total = 0
 
     # -- instrument creation (get-or-create; names are process-global) --
 
@@ -239,11 +292,27 @@ class MetricsRegistry:
     # -- spans ---------------------------------------------------------
 
     def record_span(self, name: str, duration_us: float, attrs: dict) -> None:
-        self._spans.append({"name": name, "us": duration_us, "attrs": attrs})
+        self._spans.append(
+            {"name": name, "us": duration_us, "ts": time(), "attrs": attrs}
+        )
+        self._span_total += 1
         self.histogram(f"span.{name}.us").observe(duration_us)
 
     def recent_spans(self) -> List[dict]:
         return list(self._spans)
+
+    @property
+    def span_total(self) -> int:
+        """Spans ever recorded (survives deque wraparound; harvest uses it)."""
+        return self._span_total
+
+    def spans_since(self, total: int) -> List[dict]:
+        """Spans recorded after the point where :attr:`span_total` was ``total``."""
+        fresh = self._span_total - total
+        if fresh <= 0:
+            return []
+        spans = list(self._spans)
+        return spans[-fresh:] if fresh < len(spans) else spans
 
     # -- reads ---------------------------------------------------------
 
@@ -278,6 +347,9 @@ class MetricsRegistry:
                     "count": h.count,
                     "sum": h.sum,
                     "mean": h.mean(),
+                    "p50": h.quantile(0.50),
+                    "p90": h.quantile(0.90),
+                    "p99": h.quantile(0.99),
                     "buckets": [
                         [le if le != float("inf") else "+Inf", c]
                         for le, c in h.bucket_pairs()
@@ -286,10 +358,60 @@ class MetricsRegistry:
                 for n, h in sorted(self._histograms.items())
             },
             "derived": self.derived(),
+            "help": self.help_strings(),
         }
         if include_spans:
             snap["spans"] = self.recent_spans()
         return snap
+
+    def help_strings(self) -> Dict[str, str]:
+        """Registered help text by metric name (empty strings omitted)."""
+        out: Dict[str, str] = {}
+        for kind in (self._counters, self._gauges, self._histograms):
+            for name, instrument in kind.items():
+                if instrument.help:
+                    out[name] = instrument.help
+        return out
+
+    # -- cross-process merge -------------------------------------------
+
+    def merge(self, delta: Mapping[str, Any]) -> None:
+        """Fold a harvest delta (:func:`repro.obs.harvest.delta_since`)
+        into this registry.
+
+        Semantics per instrument kind: **counters sum** (negative deltas
+        are rejected by :meth:`Counter.add`), **histograms merge
+        bucket-wise** (a delta whose bucket bounds disagree with the
+        registered instrument raises ``ValueError`` — silently dropping
+        or rebinning observations would corrupt the quantiles),
+        **gauges last-write** (the delta's value overwrites). Metrics the
+        delta names that this registry has never seen are auto-registered
+        (help text rides along in the delta), so a worker process that
+        imported an extra instrumented module still lands all its counts.
+        Span records are appended verbatim to the bounded span buffer
+        without re-observing the ``span.*`` histograms (the delta's
+        histogram section already carries those observations).
+        """
+        for name, amount in delta.get("counters", {}).items():
+            self.counter(name, delta.get("help", {}).get(name, "")).add(amount)
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge(name, delta.get("help", {}).get(name, "")).set(value)
+        for name, data in delta.get("histograms", {}).items():
+            bounds = tuple(data["bounds"])
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self.histogram(
+                    name, delta.get("help", {}).get(name, ""), buckets=bounds
+                )
+            if instrument.buckets != bounds:
+                raise ValueError(
+                    f"histogram {name}: delta bucket bounds {bounds} do not "
+                    f"match registered bounds {instrument.buckets}"
+                )
+            instrument.merge_counts(data["counts"], data["count"], data["sum"])
+        for span in delta.get("spans", ()):
+            self._spans.append(span)
+            self._span_total += 1
 
     def reset(self) -> None:
         """Zero every instrument and drop retained spans.

@@ -8,6 +8,7 @@ process backend's workers import it by dotted path through a
 import os
 from typing import Any, ClassVar, List, Mapping
 
+from repro import obs
 from repro.engine.protocol import EngineOp, EngineSampler
 
 
@@ -20,6 +21,14 @@ class FaultySampler(EngineSampler):
     * ``"raise"`` — raise ``RuntimeError`` inside the worker.
     * ``"die"`` — hard-kill the worker process (``os._exit``), simulating
       a segfault/OOM kill: no exception propagates, the pool just breaks.
+
+    With metrics enabled, every completed ``"ok"`` draw increments the
+    ``faulty.draws`` counter — a metric that exists only in worker
+    processes (the parent never executes this sampler under the process
+    backend), so the harvest tests can assert the parent learned it
+    exclusively through :meth:`repro.obs.registry.MetricsRegistry.merge`
+    auto-registration, counted exactly once per executed request even
+    when crashed batchmates force phase-2 retries.
     """
 
     engine_ops: ClassVar[Mapping[str, EngineOp]] = {
@@ -33,6 +42,10 @@ class FaultySampler(EngineSampler):
         if behavior == "die":
             os._exit(17)
         base = rng.random() if rng is not None else 0.5
+        if obs.ENABLED:
+            obs.counter(
+                "faulty.draws", "Completed FaultySampler ok-draws"
+            ).inc()
         return [base + index for index in range(s)]
 
     def sample(self, *args: Any, **kwargs: Any) -> List[float]:

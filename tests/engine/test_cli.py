@@ -1,5 +1,6 @@
-"""The ``python -m repro engine`` subcommands, end to end."""
+"""The ``python -m repro engine``/``obs`` subcommands, end to end."""
 
+import json
 import os
 import subprocess
 import sys
@@ -106,3 +107,40 @@ class TestEngineRun:
         completed = run_cli("engine", "run", "range.treewalk", "--shm")
         assert completed.returncode == 2
         assert "--backend process" in completed.stderr
+
+
+class TestObsCli:
+    def test_dump_table_reports_engine_and_quantiles(self):
+        completed = run_cli("obs")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "engine.requests" in completed.stdout
+        assert "engine.harvested_chunks" in completed.stdout
+        assert "p99=" in completed.stdout
+
+    def test_prometheus_has_help_and_quantile_gauges(self):
+        completed = run_cli("obs", "--format", "prometheus")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "# HELP repro_alias_draws_total" in completed.stdout
+        assert "# TYPE repro_engine_request_us histogram" in completed.stdout
+        assert "repro_engine_request_us_p99" in completed.stdout
+
+    def test_tail_lists_serial_and_process_records(self):
+        completed = run_cli("obs", "tail", "-n", "64")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "flight-recorder records" in completed.stdout
+        assert "serial" in completed.stdout
+        assert "process" in completed.stdout
+
+    def test_tail_json_records_are_structured(self):
+        completed = run_cli("obs", "tail", "--format", "json", "-n", "5")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        records = json.loads(completed.stdout)
+        assert 0 < len(records) <= 5
+        for record in records:
+            assert set(record) >= {"trace", "backend", "worker", "op", "us"}
+            assert len(record["trace"]) == 16
+
+    def test_tail_rejects_prometheus_format(self):
+        completed = run_cli("obs", "tail", "--format", "prometheus")
+        assert completed.returncode == 2
+        assert "table or json" in completed.stderr

@@ -1,0 +1,113 @@
+"""Worker metric harvest under fault injection: exactly-once counting.
+
+The harvest protocol's crash-safety is structural — a delta exists only
+inside a successfully returned worker envelope, and the engine merges
+each envelope exactly once — so these tests drive the process backend
+through raises, worker deaths, and phase-2 retries and assert the
+parent's counters equal what a single clean execution of each resolved
+request would have produced. The probe metric is ``faulty.draws``
+(:mod:`tests.engine.faulty`), which only worker processes ever
+increment, so every count the parent sees necessarily arrived through
+:meth:`repro.obs.registry.MetricsRegistry.merge`.
+"""
+
+import pytest
+
+from repro.engine import QueryRequest, SamplingEngine
+from repro.errors import WorkerCrashedError
+
+FAULTY = ("call", "tests.engine.faulty:build_faulty", ())
+
+
+def req(behavior, s=3):
+    return QueryRequest(op="sample", args=(behavior,), s=s)
+
+
+class TestHarvestCleanPath:
+    def test_worker_counts_land_on_parent(self, metrics_on):
+        with SamplingEngine(backend="process", seed=1, max_workers=2) as engine:
+            results = engine.run_token(FAULTY, [req("ok") for _ in range(6)])
+        assert all(r.ok for r in results)
+        counters = metrics_on.snapshot()["counters"]
+        # faulty.draws is auto-registered on the parent purely through
+        # the merge (nothing in the parent process increments it).
+        assert counters["faulty.draws"] == 6
+        assert counters["engine.harvested_chunks"] >= 1
+
+    def test_help_text_rides_the_delta(self, metrics_on):
+        with SamplingEngine(backend="process", seed=1, max_workers=1) as engine:
+            engine.run_token(FAULTY, [req("ok")])
+        help_map = metrics_on.snapshot()["help"]
+        assert help_map["faulty.draws"] == "Completed FaultySampler ok-draws"
+
+    def test_worker_latency_histograms_merge(self, metrics_on):
+        with SamplingEngine(backend="process", seed=1, max_workers=1) as engine:
+            engine.run_token(FAULTY, [req("ok") for _ in range(4)])
+        hists = metrics_on.snapshot()["histograms"]
+        # The worker.execute span histogram is recorded worker-side and
+        # arrives via the delta's histogram section.
+        assert hists["span.worker.execute.us"]["count"] == 4
+
+
+class TestHarvestUnderCrash:
+    def test_crashed_worker_counts_exactly_once(self, metrics_on):
+        """A death mid-batch must not double-count retried batchmates.
+
+        The dying request's chunk-mates may execute twice (once in the
+        crashed worker, whose partial counts die with it, once in the
+        phase-2 retry) — the parent must still end up with exactly one
+        count per *resolved* ok request.
+        """
+        batch = [req("ok"), req("ok"), req("die"), req("ok"), req("ok"), req("ok")]
+        with SamplingEngine(backend="process", seed=1, max_workers=2) as engine:
+            results = engine.run_token(FAULTY, batch)
+        ok = [r for r in results if r.ok]
+        assert len(ok) == 5
+        assert isinstance(results[2].error, WorkerCrashedError)
+        assert metrics_on.snapshot()["counters"]["faulty.draws"] == 5
+
+    def test_repeated_batches_after_crash_stay_exact(self, metrics_on):
+        with SamplingEngine(backend="process", seed=1, max_workers=2) as engine:
+            engine.run_token(FAULTY, [req("ok"), req("die"), req("ok")])
+            again = engine.run_token(FAULTY, [req("ok") for _ in range(4)])
+        assert all(r.ok for r in again)
+        assert metrics_on.snapshot()["counters"]["faulty.draws"] == 6
+
+    def test_raised_errors_do_not_count_draws(self, metrics_on):
+        with SamplingEngine(backend="process", seed=1, max_workers=1) as engine:
+            results = engine.run_token(FAULTY, [req("ok"), req("raise"), req("ok")])
+        assert [r.ok for r in results] == [True, False, True]
+        counters = metrics_on.snapshot()["counters"]
+        assert counters["faulty.draws"] == 2
+        assert counters["engine.request_errors"] == 1
+
+    def test_crash_envelope_carries_flight_records(self, metrics_on):
+        with SamplingEngine(backend="process", seed=1, max_workers=2) as engine:
+            results = engine.run_token(FAULTY, [req("ok"), req("die")])
+        crashed = results[1]
+        assert isinstance(crashed.error, WorkerCrashedError)
+        records = getattr(crashed.error, "flight_records", None)
+        assert records, "WorkerCrashedError should ship its flight records"
+        assert any(r["error"] == "WorkerCrashedError" for r in records)
+        assert all(r["trace"] == crashed.trace_id for r in records)
+
+    def test_disabled_metrics_ship_no_delta(self):
+        from repro import obs
+
+        with obs.scope(False):
+            before = obs.REGISTRY.value("faulty.draws")
+            with SamplingEngine(backend="process", seed=1, max_workers=1) as engine:
+                results = engine.run_token(FAULTY, [req("ok"), req("ok")])
+            assert all(r.ok for r in results)
+            assert obs.REGISTRY.value("faulty.draws") == before
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_harvest_totals_match_request_count(metrics_on, workers):
+    count = 9
+    with SamplingEngine(backend="process", seed=3, max_workers=workers) as engine:
+        results = engine.run_token(FAULTY, [req("ok") for _ in range(count)])
+    assert all(r.ok for r in results)
+    counters = metrics_on.snapshot()["counters"]
+    assert counters["faulty.draws"] == count
+    assert counters["engine.requests"] == count

@@ -1,0 +1,191 @@
+"""Trace-ID propagation and cross-backend metric parity (acceptance).
+
+The observability pipeline must be a pure observer: trace IDs are a
+stateless hash of the seed stream (never consuming randomness), and the
+harvested process-backend counters must equal a serial run's counters on
+the same seeded workload — the theorem-shaped cost accounting is
+backend-independent.
+"""
+
+import pytest
+
+from repro import obs
+from repro.engine import QueryRequest, SamplingEngine, spec_token
+
+KEYS = [float(i) for i in range(256)]
+PARAMS = {"keys": KEYS, "rng": 1}
+
+#: Counters that must agree between serial and process runs of the same
+#: seeded range.chunked workload: the engine's own accounting plus the
+#: Theorem-1/Theorem-3 cost counters the workers increment.
+PARITY_COUNTERS = (
+    "engine.requests",
+    "alias.draws",
+    "range.chunked.queries",
+    "range.chunked.chunk_touches",
+)
+
+
+def range_requests(count=8, s=5):
+    return [
+        QueryRequest(op="sample", args=(20.0, 200.0), s=s) for _ in range(count)
+    ]
+
+
+class TestTraceIds:
+    def test_assigned_deterministically(self):
+        engine = SamplingEngine(backend="serial", seed=11)
+        first = engine.trace_ids_for(range_requests())
+        second = engine.trace_ids_for(range_requests())
+        assert first == second
+        assert len(set(first)) == len(first)  # distinct per index
+        assert all(len(t) == 16 and int(t, 16) >= 0 for t in first)
+
+    def test_explicit_trace_id_wins(self):
+        requests = range_requests(count=2)
+        object.__setattr__(requests[0], "trace_id", "feedface00000000")
+        engine = SamplingEngine(backend="serial", seed=11)
+        ids = engine.trace_ids_for(requests)
+        assert ids[0] == "feedface00000000"
+        assert ids[1] != ids[0]
+
+    def test_request_seed_overrides_batch_position_base(self):
+        tagged = QueryRequest(op="sample", args=(20.0, 200.0), s=5, seed=99)
+        plain = QueryRequest(op="sample", args=(20.0, 200.0), s=5)
+        engine = SamplingEngine(backend="serial", seed=11)
+        tagged_id, plain_id = engine.trace_ids_for([tagged, plain])
+        assert tagged_id == obs.trace_id_for(99, 0)
+        assert tagged_id != plain_id
+
+    def test_results_carry_trace_ids_metrics_off(self):
+        # Trace stamping is unconditional (it costs one hash per request
+        # and makes results correlatable), even with metrics disabled.
+        with obs.scope(False):
+            engine = SamplingEngine(backend="serial", seed=11)
+            results = engine.run_spec("range.chunked", PARAMS, range_requests())[1]
+        assert all(r.trace_id is not None for r in results)
+
+    def test_identical_across_serial_and_process(self, metrics_on):
+        requests = range_requests()
+        _, serial = SamplingEngine(backend="serial", seed=11).run_spec(
+            "range.chunked", PARAMS, requests
+        )
+        with SamplingEngine(backend="process", seed=11, max_workers=2) as engine:
+            proc = engine.run_token(
+                spec_token("range.chunked", PARAMS), range_requests()
+            )
+        assert [r.trace_id for r in serial] == [r.trace_id for r in proc]
+
+    def test_worker_records_carry_the_parent_trace(self, metrics_on):
+        with SamplingEngine(backend="process", seed=11, max_workers=2) as engine:
+            results = engine.run_token(
+                spec_token("range.chunked", PARAMS), range_requests()
+            )
+        for result in results:
+            records = metrics_on.RECORDER.for_trace(result.trace_id)
+            assert records, f"no flight record for {result.trace_id}"
+            assert all(r["backend"] == "process" for r in records)
+
+
+class TestStreamPurity:
+    def test_streams_byte_identical_metrics_on_vs_off(self):
+        def run():
+            engine = SamplingEngine(backend="serial", seed=11)
+            return [
+                r.values
+                for r in engine.run_spec("range.chunked", PARAMS, range_requests())[1]
+            ]
+
+        with obs.scope(False):
+            dark = run()
+        saved = obs.ENABLED
+        obs.enable()
+        obs.reset()
+        try:
+            lit = run()
+        finally:
+            obs.reset()
+            (obs.enable if saved else obs.disable)()
+        assert dark == lit
+
+    def test_process_streams_byte_identical_metrics_on_vs_off(self):
+        def run():
+            with SamplingEngine(
+                backend="process", seed=11, max_workers=2
+            ) as engine:
+                return [
+                    r.values
+                    for r in engine.run_token(
+                        spec_token("range.chunked", PARAMS), range_requests()
+                    )
+                ]
+
+        with obs.scope(False):
+            dark = run()
+        saved = obs.ENABLED
+        obs.enable()
+        obs.reset()
+        try:
+            lit = run()
+        finally:
+            obs.reset()
+            (obs.enable if saved else obs.disable)()
+        assert dark == lit
+
+
+class TestCounterParity:
+    @pytest.fixture
+    def counts(self, metrics_on):
+        def capture(run):
+            metrics_on.reset()
+            run()
+            counters = metrics_on.snapshot()["counters"]
+            return {name: counters.get(name, 0) for name in PARITY_COUNTERS}
+
+        return capture
+
+    def test_process_harvest_equals_serial(self, counts):
+        def serial():
+            SamplingEngine(backend="serial", seed=11).run_spec(
+                "range.chunked", PARAMS, range_requests()
+            )
+
+        def process():
+            with SamplingEngine(
+                backend="process", seed=11, max_workers=2
+            ) as engine:
+                engine.run_token(
+                    spec_token("range.chunked", PARAMS), range_requests()
+                )
+
+        serial_counts = counts(serial)
+        process_counts = counts(process)
+        assert serial_counts == process_counts
+        assert serial_counts["engine.requests"] == 8
+        assert serial_counts["range.chunked.queries"] > 0
+        assert serial_counts["alias.draws"] > 0
+
+    def test_parity_holds_for_alias_spec(self, counts):
+        items = [float(i) for i in range(64)]
+        params = {
+            "items": items,
+            "weights": [1.0 + (i % 5) for i in range(64)],
+            "rng": 1,
+        }
+        requests = [QueryRequest(op="sample", s=6) for _ in range(6)]
+
+        def serial():
+            SamplingEngine(backend="serial", seed=3).run_spec(
+                "alias", params, [QueryRequest(op="sample", s=6) for _ in range(6)]
+            )
+
+        def process():
+            with SamplingEngine(
+                backend="process", seed=3, max_workers=2
+            ) as engine:
+                engine.run_token(spec_token("alias", params), requests)
+
+        serial_counts = counts(serial)
+        process_counts = counts(process)
+        assert serial_counts["alias.draws"] == process_counts["alias.draws"] > 0
+        assert serial_counts["engine.requests"] == process_counts["engine.requests"]

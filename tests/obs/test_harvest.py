@@ -1,0 +1,168 @@
+"""Harvest baseline/delta capture and registry merge semantics."""
+
+import pickle
+
+import pytest
+
+from repro.obs.harvest import baseline, delta_since
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import MetricsRegistry
+
+
+def fresh():
+    return MetricsRegistry(), FlightRecorder()
+
+
+class TestDelta:
+    def test_only_movers_appear(self):
+        registry, recorder = fresh()
+        moved = registry.counter("a.moved", "moved help")
+        registry.counter("a.static")
+        base = baseline(registry, recorder)
+        moved.add(3)
+        delta = delta_since(base, registry, recorder)
+        assert delta["counters"] == {"a.moved": 3}
+        assert delta["histograms"] == {}
+        assert delta["help"] == {"a.moved": "moved help"}
+
+    def test_histogram_delta_is_bucketwise(self):
+        registry, recorder = fresh()
+        hist = registry.histogram("h", buckets=[1.0, 10.0])
+        hist.observe(0.5)
+        base = baseline(registry, recorder)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(100.0)
+        delta = delta_since(base, registry, recorder)["histograms"]["h"]
+        assert delta["bounds"] == [1.0, 10.0]
+        assert delta["counts"] == [1, 1, 1]  # le=1, le=10, +Inf — deltas only
+        assert delta["count"] == 3
+        assert delta["sum"] == pytest.approx(105.5)
+
+    def test_gauge_delta_ships_current_value(self):
+        registry, recorder = fresh()
+        gauge = registry.gauge("g")
+        gauge.set(2.0)
+        base = baseline(registry, recorder)
+        delta = delta_since(base, registry, recorder)
+        assert delta["gauges"] == {}  # unchanged → absent
+        gauge.set(7.0)
+        delta = delta_since(base, registry, recorder)
+        assert delta["gauges"] == {"g": 7.0}
+
+    def test_spans_and_records_since_baseline(self):
+        registry, recorder = fresh()
+        registry.record_span("warm", 1.0, {})
+        recorder.record(
+            trace="t0", spec="x", op="sample", s=1, backend="serial",
+            duration_us=1.0,
+        )
+        base = baseline(registry, recorder)
+        registry.record_span("fresh", 2.0, {"trace": "t1"})
+        recorder.record(
+            trace="t1", spec="x", op="sample", s=1, backend="serial",
+            duration_us=2.0,
+        )
+        delta = delta_since(base, registry, recorder)
+        assert [s["name"] for s in delta["spans"]] == ["fresh"]
+        assert [r["trace"] for r in delta["records"]] == ["t1"]
+
+    def test_delta_is_picklable(self):
+        registry, recorder = fresh()
+        base = baseline(registry, recorder)
+        registry.counter("c").inc()
+        registry.histogram("h").observe(3.0)
+        registry.record_span("op", 5.0, {"trace": "t"})
+        delta = delta_since(base, registry, recorder)
+        assert pickle.loads(pickle.dumps(delta)) == delta
+
+
+class TestMerge:
+    def roundtrip(self, mutate):
+        """Capture a delta from one registry, merge into another."""
+        source_registry, source_recorder = fresh()
+        base = baseline(source_registry, source_recorder)
+        mutate(source_registry, source_recorder)
+        delta = delta_since(base, source_registry, source_recorder)
+        target = MetricsRegistry()
+        target.merge(delta)
+        return target, delta
+
+    def test_counters_sum(self):
+        target, _ = self.roundtrip(lambda reg, rec: reg.counter("c").add(4))
+        target.merge({"counters": {"c": 2}})
+        assert target.value("c") == 6
+
+    def test_negative_counter_delta_rejected(self):
+        target = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            target.merge({"counters": {"c": -1}})
+
+    def test_unknown_metrics_auto_register_with_help(self):
+        target, _ = self.roundtrip(
+            lambda reg, rec: reg.counter("worker.only", "worker-side help").inc()
+        )
+        assert target.value("worker.only") == 1
+        assert target.help_strings()["worker.only"] == "worker-side help"
+
+    def test_histograms_merge_bucketwise(self):
+        def mutate(reg, rec):
+            hist = reg.histogram("h", buckets=[1.0, 10.0])
+            hist.observe(0.5)
+            hist.observe(5.0)
+
+        target, delta = self.roundtrip(mutate)
+        target.merge(delta)  # merge the same delta twice: counts double
+        hist = target.histogram("h")
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(11.0)
+        assert hist.quantile(1.0) == 10.0
+
+    def test_mismatched_bucket_bounds_raise(self):
+        target = MetricsRegistry()
+        target.histogram("h", buckets=[1.0, 2.0])
+        with pytest.raises(ValueError, match="bucket bounds"):
+            target.merge(
+                {
+                    "histograms": {
+                        "h": {
+                            "bounds": [5.0, 50.0],
+                            "counts": [1, 0, 0],
+                            "count": 1,
+                            "sum": 1.0,
+                        }
+                    }
+                }
+            )
+
+    def test_merged_spans_do_not_reobserve_histograms(self):
+        def mutate(reg, rec):
+            reg.record_span("op", 5.0, {})
+
+        target, delta = self.roundtrip(mutate)
+        # The span histogram arrives once via the delta's histogram
+        # section; appending the span record must not double it.
+        assert target.histogram("span.op.us").count == 1
+        assert len(target.recent_spans()) == 1
+        assert target.span_total == 1
+
+    def test_gauges_last_write(self):
+        target = MetricsRegistry()
+        target.gauge("g").set(1.0)
+        target.merge({"gauges": {"g": 9.0}})
+        assert target.value("g") == 9.0
+
+
+class TestGlobalEntryPoint:
+    def test_obs_merge_feeds_registry_and_recorder(self, metrics_on):
+        source_registry, source_recorder = fresh()
+        base = baseline(source_registry, source_recorder)
+        source_registry.counter("harvested.c").add(2)
+        source_recorder.record(
+            trace="t9", spec="x", op="sample", s=1, backend="process",
+            duration_us=3.0, worker=12345,
+        )
+        delta = delta_since(base, source_registry, source_recorder)
+        metrics_on.merge(delta)
+        assert metrics_on.value("harvested.c") == 2
+        assert metrics_on.RECORDER.for_trace("t9")[0]["worker"] == 12345

@@ -1,0 +1,89 @@
+"""Bucket-interpolated histogram quantiles: math, snapshot, exposition."""
+
+import pytest
+
+from repro.obs.export import to_prometheus
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+class TestQuantileMath:
+    def test_empty_histogram_returns_zero(self):
+        assert Histogram("h", buckets=[1.0, 2.0]).quantile(0.5) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        hist = Histogram("h", buckets=[1.0])
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            hist.quantile(-0.01)
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations all landing in the (10, 20] bucket: the median
+        # interpolates halfway through it.
+        hist = Histogram("h", buckets=[10.0, 20.0, 30.0])
+        for _ in range(10):
+            hist.observe(15.0)
+        assert hist.quantile(0.5) == pytest.approx(15.0)
+        assert hist.quantile(1.0) == pytest.approx(20.0)
+
+    def test_first_bucket_lower_edge_is_zero(self):
+        # Prometheus histogram_quantile semantics: interpolation in the
+        # first bucket starts from 0, not from the smallest observation.
+        hist = Histogram("h", buckets=[8.0, 16.0])
+        for _ in range(4):
+            hist.observe(1.0)
+        assert hist.quantile(0.5) == pytest.approx(4.0)
+
+    def test_crosses_buckets_cumulatively(self):
+        hist = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for value in [0.5, 0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0]:
+            hist.observe(value)
+        # 8 observations: p50 target = 4th, which closes the (1, 2] bucket.
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        # p25 target = 2nd, closing the first bucket.
+        assert hist.quantile(0.25) == pytest.approx(1.0)
+
+    def test_overflow_clamps_to_largest_finite_bound(self):
+        hist = Histogram("h", buckets=[1.0, 2.0])
+        for _ in range(5):
+            hist.observe(100.0)  # all in the +Inf bucket
+        assert hist.quantile(0.99) == 2.0
+
+    def test_monotone_in_q(self):
+        hist = Histogram("h")
+        for index in range(100):
+            hist.observe(float(index * 37 % 1000))
+        qs = [hist.quantile(q / 20) for q in range(21)]
+        assert qs == sorted(qs)
+
+    def test_tracks_exact_quantiles_on_uniform_data(self):
+        # Power-of-two buckets on uniform data: the estimate must land
+        # within the true value's bucket.
+        hist = Histogram("h")
+        values = [float(v) for v in range(1, 1001)]
+        for value in values:
+            hist.observe(value)
+        for q, exact in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)]:
+            estimate = hist.quantile(q)
+            assert exact / 2 <= estimate <= exact * 2
+
+
+class TestQuantileSurfacing:
+    def test_snapshot_carries_p50_p90_p99(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat.us")
+        for value in [10.0, 20.0, 40.0, 800.0]:
+            hist.observe(value)
+        data = registry.snapshot()["histograms"]["lat.us"]
+        assert data["p50"] == hist.quantile(0.50)
+        assert data["p90"] == hist.quantile(0.90)
+        assert data["p99"] == hist.quantile(0.99)
+
+    def test_prometheus_exports_quantile_gauges(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat.us", "request latency")
+        for value in [10.0, 20.0, 40.0, 800.0]:
+            hist.observe(value)
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_lat_us_p50 gauge" in text
+        assert f"repro_lat_us_p99 {hist.quantile(0.99)!r}" in text

@@ -1,0 +1,135 @@
+"""Flight recorder: ring bounds, tail, trace lookup, engine wiring."""
+
+import pytest
+
+from repro.engine import QueryRequest, SamplingEngine, build
+from repro.obs.recorder import DEFAULT_CAPACITY, FlightRecorder
+
+KEYS = [float(i) for i in range(64)]
+
+
+def record(recorder, trace="t0", error=None, **over):
+    kwargs = dict(
+        trace=trace,
+        spec="range.chunked",
+        op="sample",
+        s=4,
+        backend="serial",
+        duration_us=10.0,
+        error=error,
+    )
+    kwargs.update(over)
+    return recorder.record(**kwargs)
+
+
+class TestRing:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            FlightRecorder(0)
+
+    def test_bounded_with_monotonic_total(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            record(recorder, trace=f"t{index}")
+        assert len(recorder) == 4
+        assert recorder.total == 10
+        assert [r["trace"] for r in recorder.tail()] == ["t6", "t7", "t8", "t9"]
+
+    def test_tail_limit_keeps_newest_oldest_first(self):
+        recorder = FlightRecorder(capacity=8)
+        for index in range(5):
+            record(recorder, trace=f"t{index}")
+        assert [r["trace"] for r in recorder.tail(2)] == ["t3", "t4"]
+        assert recorder.tail(0) == []
+        assert len(recorder.tail(100)) == 5
+
+    def test_for_trace_filters(self):
+        recorder = FlightRecorder()
+        record(recorder, trace="a")
+        record(recorder, trace="b")
+        record(recorder, trace="a", error="RuntimeError")
+        matches = recorder.for_trace("a")
+        assert len(matches) == 2
+        assert matches[1]["error"] == "RuntimeError"
+
+    def test_since_survives_wraparound(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(3):
+            record(recorder, trace=f"t{index}")
+        mark = recorder.total
+        for index in range(3, 9):
+            record(recorder, trace=f"t{index}")
+        # 6 appended since the mark but only 4 retained: since() returns
+        # what the ring still holds, never duplicates, never invents.
+        fresh = recorder.since(mark)
+        assert [r["trace"] for r in fresh] == ["t5", "t6", "t7", "t8"]
+        assert recorder.since(recorder.total) == []
+
+    def test_clear_keeps_total(self):
+        recorder = FlightRecorder()
+        record(recorder)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.total == 1
+
+    def test_worker_defaults_to_pid(self):
+        import os
+
+        entry = record(FlightRecorder())
+        assert entry["worker"] == os.getpid()
+
+
+class TestEngineWiring:
+    def test_default_capacity_recorder_is_global(self, metrics_on):
+        assert metrics_on.RECORDER.capacity == DEFAULT_CAPACITY
+
+    def test_serial_requests_are_recorded(self, metrics_on):
+        sampler = build("range.chunked", keys=KEYS, rng=1)
+        requests = [
+            QueryRequest(op="sample", args=(5.0, 50.0), s=3) for _ in range(4)
+        ]
+        results = SamplingEngine(backend="serial", seed=9).run(sampler, requests)
+        records = metrics_on.tail()
+        assert len(records) == 4
+        assert [r["trace"] for r in records] == [r.trace_id for r in results]
+        assert all(r["backend"] == "serial" for r in records)
+        assert all(r["error"] is None for r in records)
+        assert all(r["us"] > 0 for r in records)
+
+    def test_captured_error_flushes_flight_records(self, metrics_on):
+        from tests.engine.faulty import build_faulty
+
+        sampler = build_faulty()
+        requests = [
+            QueryRequest(op="sample", args=("ok",), s=2),
+            QueryRequest(op="sample", args=("raise",), s=2),
+        ]
+        results = SamplingEngine(backend="serial", seed=9).run(sampler, requests)
+        failed = results[1]
+        assert failed.error is not None
+        records = failed.error.flight_records
+        assert len(records) == 1
+        assert records[0]["trace"] == failed.trace_id
+        assert records[0]["error"] == "RuntimeError"
+
+    def test_timeline_reassembles_one_trace(self, metrics_on):
+        sampler = build("range.chunked", keys=KEYS, rng=1)
+        requests = [
+            QueryRequest(op="sample", args=(5.0, 50.0), s=3) for _ in range(3)
+        ]
+        results = SamplingEngine(backend="serial", seed=9).run(sampler, requests)
+        target = results[1].trace_id
+        timeline = metrics_on.timeline(target)
+        assert timeline["trace"] == target
+        assert len(timeline["records"]) == 1
+        assert timeline["records"][0]["trace"] == target
+        assert all(
+            span["attrs"].get("trace") == target for span in timeline["spans"]
+        )
+
+    def test_disabled_engine_records_nothing(self, metrics_off):
+        sampler = build("range.chunked", keys=KEYS, rng=1)
+        SamplingEngine(backend="serial", seed=9).run(
+            sampler, [QueryRequest(op="sample", args=(5.0, 50.0), s=3)]
+        )
+        assert metrics_off.tail() == []
