@@ -104,6 +104,7 @@ def _engine_run(
     warmup: int = 0,
     jit: bool | None = None,
     shm: bool = False,
+    placement: str | None = None,
 ) -> int:
     from time import perf_counter
 
@@ -133,11 +134,30 @@ def _engine_run(
         QueryRequest(op=template.op, args=template.args, s=s)
         for _ in range(requests)
     ]
-    engine = SamplingEngine(
-        backend=backend, seed=seed, shards=shards, max_workers=workers
-    )
     try:
-        if backend == "process":
+        engine = SamplingEngine(
+            backend=backend, placement=placement, seed=seed, shards=shards,
+            max_workers=workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    composed_process = engine.placement == "sharded" and engine.execution == "process"
+    try:
+        if composed_process:
+            if shm:
+                print(
+                    "error: --shm is implicit under --placement sharded "
+                    "--backend process (each shard is exported once and "
+                    "attached by its resident worker)",
+                    file=sys.stderr,
+                )
+                return 2
+            # The composed shard-per-process backend: the engine shards
+            # the structure, exports each shard into shared memory (or a
+            # raw-array token) once, and ships O(log n) sub-draw tasks.
+            run_once = lambda: engine.run(sampler, batch)  # noqa: E731
+        elif backend == "process":
             if shm:
                 # Export the structure's arrays into shared memory: the
                 # token carries only segment names, workers mmap-attach.
@@ -174,10 +194,14 @@ def _engine_run(
     failures = [r for r in results if not r.ok]
     described = sampler.describe()
     print(f"spec:     {spec} ({described.get('class', type(sampler).__name__)})")
-    extra = f"  shards: {shards}" if backend == "shard" else ""
-    if backend == "process":
+    extra = f"  shards: {shards}" if engine.placement == "sharded" else ""
+    if backend == "process" and not composed_process:
         extra += f"  shm: {'on' if shm else 'off'}"
-    print(f"backend:  {backend}  seed: {seed}  requests: {requests}  s: {s}{extra}")
+    print(
+        f"backend:  {backend} (placement={engine.placement}, "
+        f"execution={engine.execution})  seed: {seed}  "
+        f"requests: {requests}  s: {s}{extra}"
+    )
     print(
         f"kernels:  jit={'on' if kernels.HAVE_JIT else 'off'}  "
         f"numpy={'on' if kernels.HAVE_NUMPY else 'off'}"
@@ -340,6 +364,13 @@ def main(argv=None) -> int:
         default="serial",
     )
     run_parser.add_argument(
+        "--placement", choices=("local", "sharded"), default=None,
+        help="placement layer: local (default) runs requests whole; "
+             "sharded splits each budget over key-space shards — "
+             "composed with --backend process this is the "
+             "shard-per-process backend",
+    )
+    run_parser.add_argument(
         "--seed", type=int, default=42, help="engine master seed (default: 42)"
     )
     run_parser.add_argument(
@@ -410,7 +441,7 @@ def main(argv=None) -> int:
         return _engine_run(
             args.spec, args.requests, args.s, args.backend, args.seed, args.n,
             args.shards, args.workers, repeat=args.repeat, warmup=args.warmup,
-            jit=args.jit, shm=args.shm,
+            jit=args.jit, shm=args.shm, placement=args.placement,
         )
     if args.command == "obs":
         if args.action == "tail":

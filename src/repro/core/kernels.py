@@ -314,6 +314,35 @@ def rejection_accept_batch(
     return gen.random(size) < acceptance
 
 
+def offset_concat_batch(
+    parts: Sequence[Sequence[int]], offsets: Sequence[int]
+) -> List[int]:
+    """Concatenate per-shard local index lists, shifted to global indices.
+
+    The §4.1 merge kernel: part ``r`` (a shard's local draw indices) is
+    shifted by ``offsets[r]`` (that shard's global base) and the shifted
+    parts are concatenated in the order given. One flat add replaces the
+    per-element Python loop; merges clearing :data:`JIT_MIN_SIZE` run the
+    compiled (parallel) add instead. Both tiers are byte-identical —
+    the merge is pure arithmetic, no randomness is consumed.
+    """
+    lengths = np.fromiter((len(part) for part in parts), dtype=np.intp, count=len(parts))
+    total = int(lengths.sum())
+    if total == 0:
+        return []
+    flat = np.concatenate([np.asarray(part, dtype=np.intp) for part in parts])
+    offs = np.repeat(np.asarray(offsets, dtype=np.intp), lengths)
+    if use_jit(total):
+        if obs.ENABLED:
+            _DISPATCH_JIT.inc()
+        out = np.empty(total, dtype=np.intp)
+        kernels_jit.offset_merge(flat, offs, out)
+        return out.tolist()
+    if obs.ENABLED:
+        _DISPATCH_NUMPY.inc()
+    return (flat + offs).tolist()
+
+
 # ----------------------------------------------------------------------
 # construction kernels (vectorized Vose)
 # ----------------------------------------------------------------------
@@ -669,6 +698,7 @@ __all__ = [
     "uniform_index_batch",
     "multinomial_split_batch",
     "bst_topdown_batch",
+    "offset_concat_batch",
     "rejection_accept_batch",
     "build_alias_tables_batch",
     "build_alias_tables_flat",

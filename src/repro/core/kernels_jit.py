@@ -186,6 +186,17 @@ def vose_finish_ref(
     return emitted
 
 
+def offset_merge_ref(indices: Any, offsets: Any, out: Any) -> None:
+    """Shift shard-local ``indices`` by per-element ``offsets`` (reference).
+
+    The §4.1 merge's arithmetic core: every shard-local sorted-array
+    index moves up by its shard's global base offset. Deterministic and
+    randomness-free, so — like :func:`rejection_accept` — the compiled
+    twin is byte-identical to this reference on every tier.
+    """
+    np.add(indices, offsets, out=out)
+
+
 def segmented_cumsum_ref(values: Any, segments: Any, out: Any) -> None:
     """Exact per-segment inclusive prefix sums (sequential reference).
 
@@ -257,6 +268,11 @@ if HAVE_NUMBA:  # pragma: no cover - requires the [jit] extra
     _vose_finish_compiled = njit(cache=True)(vose_finish_ref)
     _segmented_cumsum_compiled = njit(cache=True)(segmented_cumsum_ref)
 
+    @njit(cache=True, parallel=True)
+    def _offset_merge_compiled(indices, offsets, out):
+        for i in prange(indices.shape[0]):
+            out[i] = indices[i] + offsets[i]
+
     def alias_draw(prob: Any, alias: Any, seed: int, out: Any) -> None:
         _alias_draw_compiled(prob, alias, np.uint64(seed), out)
 
@@ -293,6 +309,9 @@ if HAVE_NUMBA:  # pragma: no cover - requires the [jit] extra
     def segmented_cumsum(values: Any, segments: Any, out: Any) -> None:
         _segmented_cumsum_compiled(values, segments, out)
 
+    def offset_merge(indices: Any, offsets: Any, out: Any) -> None:
+        _offset_merge_compiled(indices, offsets, out)
+
     def warmup() -> None:
         """Force-compile every kernel on tiny inputs (e.g. before timing)."""
         prob = np.array([0.5, 1.0])
@@ -312,6 +331,7 @@ if HAVE_NUMBA:  # pragma: no cover - requires the [jit] extra
             np.empty(2, dtype=np.intp),
         )
         segmented_cumsum(prob, alias, np.empty(2))
+        offset_merge(alias, alias, np.empty(2, dtype=np.intp))
 
 else:
 
@@ -344,6 +364,9 @@ else:
 
     def segmented_cumsum(values: Any, segments: Any, out: Any) -> None:
         segmented_cumsum_ref(values, segments, out)
+
+    def offset_merge(indices: Any, offsets: Any, out: Any) -> None:
+        offset_merge_ref(indices, offsets, out)
 
     def warmup() -> None:
         """No-op without numba (nothing to compile)."""
@@ -385,6 +408,8 @@ __all__ = [
     "rejection_accept_ref",
     "vose_finish",
     "vose_finish_ref",
+    "offset_merge",
+    "offset_merge_ref",
     "segmented_cumsum",
     "segmented_cumsum_ref",
     "finish_tail",

@@ -652,6 +652,31 @@ class ChunkedRangeSampler(RangeSamplerBase):
         q3 = (hi, hi) if tail_fully else (self._chunk_bounds(last_chunk)[0], hi)
         return q1, (mid_lo, mid_hi), q3
 
+    def _ensure_chunk_matrix(self):
+        """The packed ``(prob_mat, alias_mat, lengths, starts)`` draw
+        matrices, re-packing the scalar per-chunk tables on first need.
+
+        The vectorized builder fills the matrices eagerly; a scalar build
+        defers them until either a batched draw or a shared-memory export
+        asks (both consume the same packed form, so the values are
+        bit-identical either way).
+        """
+        if self._np_chunk_matrix is None:
+            np = kernels.np
+            g = self._num_chunks
+            width = self._chunk_size
+            prob_mat = np.ones((g, width), dtype=np.float64)
+            alias_mat = np.zeros((g, width), dtype=np.intp)
+            lengths = np.empty(g, dtype=np.intp)
+            for chunk, (prob, alias) in enumerate(self._chunk_tables):
+                size = len(prob)
+                prob_mat[chunk, :size] = prob
+                alias_mat[chunk, :size] = alias
+                lengths[chunk] = size
+            starts = np.arange(g, dtype=np.intp) * width
+            self._np_chunk_matrix = (prob_mat, alias_mat, lengths, starts)
+        return self._np_chunk_matrix
+
     def _chunk_table(self, chunk: int) -> AliasTables:
         """Per-chunk ``(prob, alias)``, as views into the packed matrix
         when the vectorized builder ran (materialized on demand)."""
@@ -721,20 +746,7 @@ class ChunkedRangeSampler(RangeSamplerBase):
         tokens scatter across chunks.
         """
         np = kernels.np
-        if self._np_chunk_matrix is None:
-            g = self._num_chunks
-            width = self._chunk_size
-            prob_mat = np.ones((g, width), dtype=np.float64)
-            alias_mat = np.zeros((g, width), dtype=np.intp)
-            lengths = np.empty(g, dtype=np.intp)
-            for chunk, (prob, alias) in enumerate(self._chunk_tables):
-                size = len(prob)
-                prob_mat[chunk, :size] = prob
-                alias_mat[chunk, :size] = alias
-                lengths[chunk] = size
-            starts = np.arange(g, dtype=np.intp) * width
-            self._np_chunk_matrix = (prob_mat, alias_mat, lengths, starts)
-        prob_mat, alias_mat, lengths, starts = self._np_chunk_matrix
+        prob_mat, alias_mat, lengths, starts = self._ensure_chunk_matrix()
         gen = kernels.batch_generator(self._rng if rng is None else rng)
         chunks = np.asarray(chunk_draws, dtype=np.intp)
         if obs.ENABLED:

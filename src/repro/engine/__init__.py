@@ -21,13 +21,17 @@ them all:
   benchmark, and CLI entry point constructs samplers through.
 * :class:`~repro.engine.executor.SamplingEngine` — batched executor with
   per-request independent RNG streams (seed-spawning via
-  :func:`repro.substrates.rng.derive_seed`) and pluggable serial /
-  thread / process / shard backends. The process backend ships
-  picklable ``(spec, params)`` build tokens to resident pool workers
-  (:mod:`repro.engine.worker`); the shard backend partitions a range
-  structure's key space and splits each request's budget multinomially
-  (:class:`~repro.engine.shard.ShardedSampler`, re-exported lazily
-  here).
+  :func:`repro.substrates.rng.derive_seed`) and two composable layers:
+  a placement (:mod:`repro.engine.placement` — ``local`` or the §4.1
+  ``sharded`` key-space split) over an execution backend (serial /
+  thread / process, :mod:`repro.engine.execution`). The local process
+  backend ships picklable ``(spec, params)`` build tokens to resident
+  pool workers (:mod:`repro.engine.worker`); the sharded placement
+  partitions a range structure's key space and splits each request's
+  budget multinomially (:class:`~repro.engine.shard.ShardedSampler`,
+  re-exported lazily here), and composed with the process backend keeps
+  one shard resident per worker. Legacy backend strings stay valid:
+  ``"shard"`` aliases ``placement="sharded", backend="thread"``.
 
 Quickstart::
 
@@ -45,13 +49,16 @@ table.
 """
 
 from repro.engine.demo import demo_build
-from repro.engine.executor import BACKENDS, SamplingEngine, spec_token
+from repro.engine.executor import BACKENDS, PLACEMENTS, SamplingEngine, spec_token
+from repro.engine.placement import normalize_backend
 from repro.engine.protocol import (
     EngineOp,
     EngineSampler,
+    PlacementPlan,
     QueryRequest,
     QueryResult,
     Sampler,
+    ShardTask,
 )
 from repro.engine.registry import REGISTRY, SamplerEntry, SamplerRegistry, build
 
@@ -59,6 +66,8 @@ __all__ = [
     "BACKENDS",
     "EngineOp",
     "EngineSampler",
+    "PLACEMENTS",
+    "PlacementPlan",
     "QueryRequest",
     "QueryResult",
     "REGISTRY",
@@ -66,10 +75,12 @@ __all__ = [
     "SamplerEntry",
     "SamplerRegistry",
     "SamplingEngine",
+    "ShardTask",
     "ShardedSampler",
     "ShmShareError",
     "build",
     "demo_build",
+    "normalize_backend",
     "spec_token",
 ]
 

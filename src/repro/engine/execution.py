@@ -1,0 +1,246 @@
+"""The execution layer: *who runs a placement plan's shard tasks*.
+
+The placement layer (:mod:`repro.engine.placement`) decides how a
+request decomposes — for the sharded placement, into
+:class:`~repro.engine.protocol.ShardTask` sub-draws that each carry
+their own derived seed. This module owns the orthogonal decision of
+where those tasks execute:
+
+* :class:`SerialShardRunner` — inline, in the calling thread. The
+  baseline every other runner must match byte-for-byte.
+* :class:`ThreadShardRunner` — the sharded view's own thread pool; the
+  legacy ``"shard"`` backend semantics, profitable when shard draws
+  spend their time in GIL-dropping numpy kernels.
+* :class:`ProcessShardRunner` — the composed ``sharded × process``
+  backend. Each shard is exported **once** (shared memory when the
+  structure has an exporter, raw-array rebuild token otherwise) and
+  becomes resident in **exactly one** worker process; per-request
+  traffic is then a handful of ints per shard (``lo, hi, quota, seed``)
+  — O(log n) pickled bytes — and the draws run GIL-free across cores.
+
+Because every task already carries its stateless seed, all three
+runners produce byte-identical partials; the runner choice changes only
+where the CPU time is spent. Runners are owned by the sharded view they
+are bound to (:meth:`~repro.engine.shard.ShardedSampler.bind_runner`),
+which the engine's placement owns in turn — ``engine.close()`` tears
+the whole stack down deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Any, List, Optional, Tuple
+
+from repro import obs
+from repro.engine.protocol import PlacementPlan
+from repro.errors import WorkerCrashedError
+
+__all__ = [
+    "ProcessShardRunner",
+    "SerialShardRunner",
+    "ShardRunner",
+    "ThreadShardRunner",
+    "make_shard_runner",
+]
+
+_SERIALIZED = obs.counter(
+    "engine.serialized_bytes",
+    "Build-token bytes pickled to process-backend workers (per chunk)",
+)
+
+Partials = List[Tuple[int, List[int]]]
+
+
+class ShardRunner:
+    """Executes a :class:`PlacementPlan`'s tasks against a sharded view."""
+
+    name: str = "?"
+
+    def run_plan(self, sharded: Any, plan: PlacementPlan) -> Partials:
+        """``(shard, local_indices)`` partials for every task in the plan."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release runner-owned resources (idempotent)."""
+
+
+class SerialShardRunner(ShardRunner):
+    """Run every shard task inline, in plan order."""
+
+    name = "serial"
+
+    def run_plan(self, sharded: Any, plan: PlacementPlan) -> Partials:
+        from repro.engine.shard import run_shard_task
+
+        return [run_shard_task(sharded.shards, task) for task in plan.tasks]
+
+
+class ThreadShardRunner(ShardRunner):
+    """Fan shard tasks out over the sharded view's own thread pool.
+
+    Delegates to the view's built-in threaded path — the same pool, the
+    same single-task fast path — so ``placement="sharded",
+    backend="thread"`` is *the same code* as the legacy ``"shard"``
+    backend, not merely equivalent to it. The pool itself belongs to the
+    view (its :meth:`close` handles shutdown), so this runner holds no
+    resources.
+    """
+
+    name = "thread"
+
+    def run_plan(self, sharded: Any, plan: PlacementPlan) -> Partials:
+        return sharded._run_plan_threaded(plan)
+
+
+class ProcessShardRunner(ShardRunner):
+    """Shard-resident worker processes: one shard, one worker, no GIL.
+
+    Lazily builds up to ``min(K, engine.max_workers)`` single-worker
+    pools; shard ``j`` always routes to pool ``j % npools``, so a shard
+    is rebuilt (or shm-attached) by exactly one resident process no
+    matter how many requests run. Tokens prefer the zero-copy shared
+    memory path (:meth:`SamplingEngine.share`) and fall back to a raw
+    ``("shard", ...)`` array token for structures without an exporter.
+
+    A dying worker breaks only its own pool: that pool is recycled and
+    the in-flight request gets a :class:`~repro.errors.WorkerCrashedError`
+    (captured into its envelope by the engine) while other shards'
+    residents — and other requests — keep running.
+    """
+
+    name = "process"
+
+    def __init__(self, engine: Any, sharded: Any):
+        self._engine = engine
+        self._sharded = sharded
+        self._npools = max(1, min(len(sharded.shards), engine.max_workers))
+        self._pools: List[Optional[ProcessPoolExecutor]] = [None] * self._npools
+        self._tokens: List[Optional[Tuple[bytes, Tuple[Any, ...]]]] = [
+            None
+        ] * len(sharded.shards)
+
+    # -- resident plumbing ---------------------------------------------
+
+    def _token_for(self, shard: int) -> Tuple[bytes, Tuple[Any, ...]]:
+        memo = self._tokens[shard]
+        if memo is None:
+            from repro.engine.shm import ShmShareError
+
+            structure = self._sharded.shards[shard]
+            try:
+                token = self._engine.share(structure)
+            except ShmShareError:
+                cls = type(structure)
+                token = (
+                    "shard",
+                    f"{cls.__module__}:{cls.__qualname__}",
+                    tuple(structure.keys),
+                    tuple(structure.weights),
+                )
+            memo = (pickle.dumps(token), token)
+            self._tokens[shard] = memo
+        return memo
+
+    def _pool_for(self, shard: int) -> Tuple[int, ProcessPoolExecutor]:
+        slot = shard % self._npools
+        pool = self._pools[slot]
+        if pool is None:
+            context = (
+                multiprocessing.get_context(self._engine._mp_context)
+                if self._engine._mp_context is not None
+                else None
+            )
+            pool = ProcessPoolExecutor(max_workers=1, mp_context=context)
+            self._pools[slot] = pool
+        return slot, pool
+
+    def _recycle(self, slot: int) -> None:
+        pool, self._pools[slot] = self._pools[slot], None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- execution ------------------------------------------------------
+
+    def run_plan(self, sharded: Any, plan: PlacementPlan) -> Partials:
+        from repro.engine.worker import execute_shard_chunk
+
+        enabled = obs.ENABLED
+        trace = obs.current_trace() if enabled else None
+        pending: List[Tuple[Any, int, Any]] = []
+        crash: Optional[WorkerCrashedError] = None
+        failure: Optional[Exception] = None
+        for task in plan.tasks:
+            key, token = self._token_for(task.shard)
+            slot, pool = self._pool_for(task.shard)
+            try:
+                future = pool.submit(
+                    execute_shard_chunk,
+                    key,
+                    token,
+                    [(task.shard, task.lo, task.hi, task.quota, task.seed, trace)],
+                    harvest=enabled,
+                )
+            except BrokenExecutor:
+                self._recycle(slot)
+                crash = crash or WorkerCrashedError(
+                    f"shard-resident worker for shard {task.shard} died; "
+                    f"its pool was recycled"
+                )
+                continue
+            if enabled:
+                # The per-task pickling cost: the token bytes ride along
+                # (cached worker-side after the first build), the task
+                # itself is five ints — O(log n) per request via shm.
+                _SERIALIZED.add(len(key))
+            pending.append((task, slot, future))
+        partials: Partials = []
+        for task, slot, future in pending:
+            try:
+                rebuilds, outcomes, delta = future.result()
+            except BrokenExecutor:
+                self._recycle(slot)
+                crash = crash or WorkerCrashedError(
+                    f"shard-resident worker for shard {task.shard} died "
+                    f"mid-draw; its pool was recycled"
+                )
+                continue
+            if enabled:
+                self._engine._merge_envelope(rebuilds, delta)
+            status, payload = outcomes[0]
+            if status == "err":
+                failure = failure or payload
+                continue
+            partials.append((task.shard, payload))
+        # Every future is drained before any raise: sibling shards'
+        # residents stay warm and their envelopes are merged even when
+        # one shard fails.
+        if crash is not None:
+            raise crash
+        if failure is not None:
+            raise failure
+        return partials
+
+    def close(self) -> None:
+        pools, self._pools = self._pools, [None] * self._npools
+        for pool in pools:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        self._tokens = [None] * len(self._tokens)
+
+
+def make_shard_runner(engine: Any, sharded: Any) -> Optional[ShardRunner]:
+    """The runner matching ``engine.execution`` for a sharded view.
+
+    Returns ``None`` for thread execution *when the view's own pool
+    geometry already matches* — binding nothing keeps the view on its
+    built-in threaded path (byte-identical either way; this just avoids
+    an indirection on the legacy alias).
+    """
+    execution = engine.execution
+    if execution == "serial":
+        return SerialShardRunner()
+    if execution == "process":
+        return ProcessShardRunner(engine, sharded)
+    return ThreadShardRunner()

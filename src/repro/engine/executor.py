@@ -12,18 +12,24 @@ list of :class:`~repro.engine.protocol.QueryResult`:
   results. Construct with ``seed=None`` to instead let requests consume
   the sampler's own instance stream serially (the classic single-stream
   behaviour).
-* **Pluggable backends.** ``"serial"`` executes in submission order;
-  ``"thread"`` fans out over a :class:`~concurrent.futures.ThreadPoolExecutor`
-  — profitable when queries spend their time in NumPy batch kernels
-  (which drop the GIL); ``"process"`` fans request chunks over a
-  persistent :class:`~concurrent.futures.ProcessPoolExecutor` whose
-  workers rebuild samplers from picklable build tokens once and keep
-  them resident (:mod:`repro.engine.worker`) — the backend for CPU-bound
-  scalar samplers the GIL serializes; ``"shard"`` partitions a range
-  structure's key space into ``shards`` contiguous pieces and splits
-  each request's ``s`` multinomially across them
-  (:mod:`repro.engine.shard`). docs/ARCHITECTURE.md has the backend
-  comparison table.
+* **Composable placement × execution layers.** The engine stacks two
+  orthogonal decisions: a **placement**
+  (:mod:`repro.engine.placement` — ``"local"`` runs requests against
+  the whole structure, ``"sharded"`` splits each request's ``s``
+  multinomially over ``shards`` contiguous key-space pieces, §4.1) over
+  an **execution** backend (``"serial"`` in submission order;
+  ``"thread"`` over a :class:`~concurrent.futures.ThreadPoolExecutor`
+  — profitable when queries spend their time in NumPy batch kernels,
+  which drop the GIL; ``"process"`` over persistent worker processes,
+  :mod:`repro.engine.worker` — for CPU-bound scalar samplers the GIL
+  serializes). Under the local placement the process backend executes
+  whole requests against worker-resident rebuilds from picklable build
+  tokens; under the sharded placement it keeps **one shard resident
+  per worker** (:mod:`repro.engine.execution`), shipped once via
+  shared memory, with per-request traffic a few ints per shard. Legacy
+  single-string backends remain aliases — ``"shard"`` is
+  ``placement="sharded", backend="thread"``, byte-identical.
+  docs/ARCHITECTURE.md has the placement × execution matrix.
 * **Error capture.** Per-request failures (empty interval, bad ``s``, a
   worker process dying mid-batch) are caught into ``result.error``
   instead of poisoning the batch; ``errors="raise"`` restores fail-fast
@@ -48,23 +54,26 @@ import multiprocessing
 import os
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
-from difflib import get_close_matches
 from time import perf_counter
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.engine.placement import (
+    DEFAULT_SHARDS,
+    PLACEMENTS,
+    make_placement,
+    normalize_backend,
+)
 from repro.engine.protocol import QueryRequest, QueryResult, Sampler
 from repro.engine.registry import build
 from repro.errors import WorkerCrashedError
 from repro.substrates.rng import DEFAULT_SEED, derive_seed, ensure_rng
 
-__all__ = ["BACKENDS", "SamplingEngine", "spec_token"]
+__all__ = ["BACKENDS", "PLACEMENTS", "SamplingEngine", "spec_token"]
 
-#: Supported executor backends.
+#: Accepted single-string backends (legacy spelling; ``"shard"`` is the
+#: alias for ``placement="sharded", backend="thread"``).
 BACKENDS = ("serial", "thread", "process", "shard")
-
-#: Default shard count for the shard backend when none is given.
-DEFAULT_SHARDS = 4
 
 _BATCHES = obs.counter("engine.batches", "SamplingEngine.run invocations")
 _REQUESTS = obs.counter("engine.requests", "Requests executed by the engine")
@@ -112,10 +121,17 @@ class SamplingEngine:
     Parameters
     ----------
     backend:
-        ``"serial"``, ``"thread"``, ``"process"``, or ``"shard"``.
+        The execution backend: ``"serial"``, ``"thread"``, or
+        ``"process"`` (or the legacy alias ``"shard"``, which is
+        ``placement="sharded", backend="thread"``).
+    placement:
+        ``"local"`` (default) or ``"sharded"`` — where requests run
+        (:mod:`repro.engine.placement`). ``placement="sharded"``
+        composes with any execution backend; ``backend="process"``
+        under it keeps one shard resident per worker process.
     max_workers:
-        Pool width (thread/process/shard backends); defaults to
-        ``min(8, cpu_count)``.
+        Pool width (thread/process execution, shard fan-out); defaults
+        to ``min(8, cpu_count)``.
     seed:
         Engine master seed for per-request stream spawning. ``None``
         keeps the default policy seed (:data:`repro.substrates.rng.DEFAULT_SEED`);
@@ -127,9 +143,9 @@ class SamplingEngine:
         result; ``"raise"`` propagates the first failure (in submission
         order for the fan-out backends).
     shards:
-        Shard count for the shard backend (default
-        :data:`DEFAULT_SHARDS`); clamped to the structure's key count at
-        run time.
+        Shard count for the sharded placement (default
+        :data:`~repro.engine.placement.DEFAULT_SHARDS`); clamped to the
+        structure's key count at run time.
     mp_context:
         Start method for the process backend's pool (``"fork"``,
         ``"spawn"``, ``"forkserver"``); ``None`` keeps the platform
@@ -145,17 +161,9 @@ class SamplingEngine:
         errors: str = "capture",
         shards: Optional[int] = None,
         mp_context: Optional[str] = None,
+        placement: Optional[str] = None,
     ):
-        if backend not in BACKENDS:
-            close = get_close_matches(str(backend), BACKENDS, n=3)
-            hint = (
-                f" (did you mean {', '.join(repr(c) for c in close)}?)"
-                if close
-                else ""
-            )
-            raise ValueError(
-                f"unknown backend {backend!r}{hint}; choose from {BACKENDS}"
-            )
+        self.placement, self.execution = normalize_backend(backend, placement)
         if errors not in ("capture", "raise"):
             raise ValueError(f"errors must be 'capture' or 'raise', got {errors!r}")
         if max_workers is not None and max_workers < 1:
@@ -167,6 +175,7 @@ class SamplingEngine:
         self.backend = backend
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.shards = shards if shards is not None else DEFAULT_SHARDS
+        self._placement = make_placement(self.placement, self.shards)
         if seed is False:
             self._seed: Optional[int] = None
         elif seed is None:
@@ -245,6 +254,10 @@ class SamplingEngine:
         when workers crashed mid-batch — dead workers' mappings vanish
         with them, and unlink removes the name.
         """
+        # Placement first: sharded views own their runners (thread pools,
+        # shard-resident worker pools), and those workers must exit before
+        # the segments they attached are unlinked.
+        self._placement.close()
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
@@ -299,12 +312,21 @@ class SamplingEngine:
     def run(
         self, sampler: Sampler, requests: Iterable[QueryRequest]
     ) -> List[QueryResult]:
-        """Execute ``requests`` against ``sampler``; results keep order."""
-        if self.backend == "process":
+        """Execute ``requests`` against ``sampler``; results keep order.
+
+        Legal for every placement × execution combination except
+        local × process (whole requests cannot ship an already-built
+        structure to a worker; use :meth:`run_spec` / :meth:`run_token`
+        there). Under sharded × process the structure stays local and
+        only shard sub-draws cross the process boundary, so built
+        samplers are fine.
+        """
+        if self.placement == "local" and self.execution == "process":
             raise ValueError(
                 "the process backend executes picklable build tokens, not "
                 "already-built samplers; use run_spec(spec, params, requests) "
-                "or run_token(token, requests)"
+                "or run_token(token, requests) — or compose it with "
+                "placement='sharded', which ships shard sub-draws instead"
             )
         batch = list(requests)
         enabled = obs.ENABLED
@@ -334,7 +356,7 @@ class SamplingEngine:
         workers' copies (registry construction is deterministic).
         """
         sampler = build(spec, **params)
-        if self.backend == "process":
+        if self.placement == "local" and self.execution == "process":
             return sampler, self.run_token(spec_token(spec, params), requests)
         return sampler, self.run(sampler, requests)
 
@@ -346,9 +368,9 @@ class SamplingEngine:
         ``token`` is any :mod:`repro.engine.worker` build token —
         normally :func:`spec_token`'s ``("spec", spec, params_items)``.
         The token (and thus every build parameter) must be picklable.
-        Only meaningful for ``backend="process"``.
+        Only meaningful for the local × process combination.
         """
-        if self.backend != "process":
+        if self.placement != "local" or self.execution != "process":
             raise ValueError(
                 f"run_token requires backend='process', not {self.backend!r}"
             )
@@ -386,10 +408,19 @@ class SamplingEngine:
         batch: List[QueryRequest],
         seeds: List[Optional[int]],
     ) -> List[QueryResult]:
-        if self.backend == "shard":
-            sampler = self._sharded_view(sampler)
+        # The placement decides what the requests execute against (the
+        # sampler itself, or an engine-owned sharded view with an
+        # execution runner bound); under the sharded placement requests
+        # run in submission order and the parallelism lives *inside*
+        # each request's shard fan-out.
+        sampler = self._placement.view(sampler, self)
         jobs = list(zip(batch, seeds))
-        if self.backend == "thread" and len(jobs) > 1 and self.max_workers > 1:
+        if (
+            self.placement == "local"
+            and self.execution == "thread"
+            and len(jobs) > 1
+            and self.max_workers > 1
+        ):
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 return list(
                     pool.map(lambda job: self._execute_one(sampler, *job), jobs)
@@ -448,32 +479,6 @@ class SamplingEngine:
             # A captured failure ships its own diagnostic context: every
             # retained record for this trace (including the one above).
             _attach_flight(result.error, result.trace_id)
-
-    # -- shard backend -------------------------------------------------
-
-    def _sharded_view(self, sampler: Sampler) -> Sampler:
-        """The K-shard view of ``sampler``, memoized on the instance."""
-        from repro.engine.shard import ShardedSampler
-
-        if isinstance(sampler, ShardedSampler):
-            return sampler
-        cache_key = (self.shards, self.max_workers)
-        views: Optional[Dict[Any, Any]] = getattr(
-            sampler, "_engine_shard_views", None
-        )
-        if views is not None and cache_key in views:
-            return views[cache_key]
-        view = ShardedSampler.from_sampler(
-            sampler, self.shards, max_workers=self.max_workers
-        )
-        try:
-            if views is None:
-                views = {}
-                sampler._engine_shard_views = views  # type: ignore[attr-defined]
-            views[cache_key] = view
-        except AttributeError:
-            pass  # slotted structure: rebuild per run
-        return view
 
     # -- process backend -----------------------------------------------
 

@@ -49,9 +49,11 @@ from repro.substrates.rng import ensure_rng
 __all__ = [
     "EngineOp",
     "EngineSampler",
+    "PlacementPlan",
     "QueryRequest",
     "QueryResult",
     "Sampler",
+    "ShardTask",
 ]
 
 
@@ -148,6 +150,48 @@ class QueryResult:
         if self.error is not None:
             raise self.error
         return self.values if self.values is not None else []
+
+
+class ShardTask(NamedTuple):
+    """One shard's slice of a placement-planned request (§4.1).
+
+    ``shard`` identifies the contiguous key-space piece, ``lo``/``hi``
+    are the query span translated into the shard's *local* sorted-index
+    coordinates, ``quota`` is that shard's multinomially assigned share
+    of the request budget ``s``, and ``seed`` is the shard's stateless
+    draw stream (``derive_seed(base, 1 + shard)``) — everything an
+    execution backend needs to run the sub-draw anywhere: inline, on a
+    thread, or in a resident worker process. Plain ints throughout, so a
+    task pickles in O(1) bytes regardless of structure size.
+    """
+
+    shard: int
+    lo: int
+    hi: int
+    quota: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """The placement layer's decomposition of one sampling request.
+
+    Produced by :func:`repro.engine.placement.plan_fan_out` from the
+    active-shard table and the request's 64-bit stateless ``base``:
+    the multinomial budget split runs on ``derive_seed(base, 0)`` and
+    each task carries its own derived shard seed, so the plan — and
+    therefore the merged output — is a pure function of
+    ``(structure, request seed, K)`` no matter which execution backend
+    runs the tasks or in which order they finish.
+    """
+
+    base: int
+    tasks: Tuple[ShardTask, ...]
+
+    @property
+    def shards(self) -> Tuple[int, ...]:
+        """The shard ids this plan touches (quota > 0 only)."""
+        return tuple(task.shard for task in self.tasks)
 
 
 class EngineOp(NamedTuple):

@@ -19,14 +19,21 @@ spent in a different order.
 :class:`~repro.core.range_sampler.RangeSamplerBase`, so it inherits
 ``sample`` / ``sample_indices`` / ``sample_without_replacement`` and the
 engine protocol for free; only ``sample_span`` is reimplemented as
-*split, fan out, merge*. Determinism is stateless per request: one
-64-bit base is drawn from the request's stream, the multinomial split
-runs on ``derive_seed(base, 0)``, and shard ``j`` draws on
-``derive_seed(base, 1 + j)`` — so the merged output is a pure function
-of ``(structure, request seed, K)`` no matter how many worker threads
-execute the shards or in which order they finish.
+*plan, fan out, merge*. The §4.1 arithmetic — the multinomial split on
+``derive_seed(base, 0)``, the per-shard streams ``derive_seed(base,
+1 + j)``, and the order-preserving merge — lives in
+:mod:`repro.engine.placement` as pure functions of one stateless 64-bit
+base drawn from the request's stream; this class only *executes* the
+resulting :class:`~repro.engine.protocol.PlacementPlan`. Who executes
+it is pluggable: by default the shard sub-draws fan out over this
+wrapper's own thread pool (the legacy ``"shard"`` backend semantics),
+but an engine can :meth:`bind_runner` any execution backend from
+:mod:`repro.engine.execution` — inline, threads, or shard-resident
+worker processes — and the merged output stays a pure function of
+``(structure, request seed, K)`` because every task already carries its
+derived seed.
 
-This module is imported lazily (by the executor's ``"shard"`` backend or
+This module is imported lazily (by the executor's sharded placement or
 by user code), never from ``repro.engine``'s ``__init__`` — importing
 :mod:`repro.engine` stays cheap and cycle-free.
 """
@@ -35,26 +42,37 @@ from __future__ import annotations
 
 import math
 import os
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core import kernels
 from repro.core.range_sampler import RangeSamplerBase
+from repro.engine.placement import merge_indices, plan_fan_out
+from repro.engine.protocol import PlacementPlan, ShardTask
 from repro.errors import EmptyQueryError
-from repro.substrates.rng import RNGLike, derive_seed, ensure_rng, spawn_rng
+from repro.substrates.rng import RNGLike, ensure_rng, spawn_rng
 
-__all__ = ["ShardedSampler", "shard_bounds"]
+__all__ = ["ShardedSampler", "run_shard_task", "shard_bounds"]
 
 _SHARDS = obs.counter(
     "engine.shards",
     "Shard sub-queries fanned out by sharded range execution",
 )
-_MERGE_US = obs.histogram(
-    "engine.shard_merge_us",
-    "Microseconds spent merging per-shard results into one batch",
-)
+
+
+def run_shard_task(shards: Sequence[Any], task: ShardTask) -> Tuple[int, List[int]]:
+    """Execute one :class:`~repro.engine.protocol.ShardTask` locally.
+
+    The single point where a plan task turns into draws: shard
+    ``task.shard`` samples its local span on the task's own stateless
+    stream. Every execution backend — inline, thread pool, resident
+    worker process — funnels through this function (or its worker-side
+    twin), which is what makes the backends byte-identical.
+    """
+    return task.shard, shards[task.shard].sample_span(
+        task.lo, task.hi, task.quota, rng=ensure_rng(task.seed)
+    )
 
 
 def shard_bounds(n: int, num_shards: int) -> List[int]:
@@ -116,6 +134,7 @@ class ShardedSampler(RangeSamplerBase):
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         self._max_workers = max(1, min(len(self.shards), workers))
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._runner: Optional[Any] = None
 
     # -- construction ------------------------------------------------------
 
@@ -210,11 +229,25 @@ class ShardedSampler(RangeSamplerBase):
             shard.space_words() for shard in self.shards
         )
 
+    def bind_runner(self, runner: Optional[Any]) -> None:
+        """Route plan execution through ``runner`` (an execution backend).
+
+        ``None`` restores the default: fan out over this wrapper's own
+        thread pool, the legacy ``"shard"`` backend semantics. The bound
+        runner is owned by this view — :meth:`close` closes it.
+        """
+        previous, self._runner = self._runner, runner
+        if previous is not None and previous is not runner:
+            previous.close()
+
     def close(self) -> None:
-        """Shut down the shard worker pool (idempotent)."""
+        """Shut down the shard worker pool and bound runner (idempotent)."""
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        runner, self._runner = self._runner, None
+        if runner is not None:
+            runner.close()
 
     def __enter__(self) -> "ShardedSampler":
         return self
@@ -294,46 +327,19 @@ class ShardedSampler(RangeSamplerBase):
                 f"no keys in index span [{lo}, {hi}) across "
                 f"{self.num_shards} shards"
             )
-        if len(active) == 1:
-            j, a, b, _ = active[0]
-            local = self.shards[j].sample_span(
-                a, b, s, rng=ensure_rng(derive_seed(base, 1 + j))
-            )
-            return self._merge([(j, local)])
-        from repro.core.schemes import multinomial_split
+        plan = plan_fan_out(active, s, base)
+        if self._runner is not None:
+            partials = self._runner.run_plan(self, plan)
+        else:
+            partials = self._run_plan_threaded(plan)
+        return merge_indices(partials, self._bounds)
 
-        counts = multinomial_split(
-            [weight for _, _, _, weight in active],
-            s,
-            rng=ensure_rng(derive_seed(base, 0)),
-        )
-        tasks = [
-            (j, a, b, quota)
-            for (j, a, b, _), quota in zip(active, counts)
-            if quota > 0
-        ]
-
-        def run_task(task: Tuple[int, int, int, int]) -> Tuple[int, List[int]]:
-            j, a, b, quota = task
-            return j, self.shards[j].sample_span(
-                a, b, quota, rng=ensure_rng(derive_seed(base, 1 + j))
-            )
-
+    def _run_plan_threaded(self, plan: PlacementPlan) -> List[Tuple[int, List[int]]]:
+        """Default execution: fan the plan out over this wrapper's pool."""
+        tasks = plan.tasks
         pool = self._shard_pool() if len(tasks) > 1 else None
         if pool is not None:
-            partials = list(pool.map(run_task, tasks))
-        else:
-            partials = [run_task(task) for task in tasks]
-        return self._merge(partials)
-
-    def _merge(self, partials: List[Tuple[int, List[int]]]) -> List[int]:
-        """Offset shard-local indices to global ones, in shard order."""
-        enabled = obs.ENABLED
-        started = time.perf_counter() if enabled else 0.0
-        merged: List[int] = []
-        for j, local in sorted(partials, key=lambda pair: pair[0]):
-            offset = self._bounds[j]
-            merged.extend(offset + index for index in local)
-        if enabled:
-            _MERGE_US.observe((time.perf_counter() - started) * 1e6)
-        return merged
+            return list(
+                pool.map(lambda task: run_shard_task(self.shards, task), tasks)
+            )
+        return [run_shard_task(self.shards, task) for task in tasks]

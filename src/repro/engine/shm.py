@@ -32,10 +32,16 @@ Name-based attach is start-method agnostic: the same token works under
 ``fork`` and ``spawn`` (asserted in the spawn test).
 
 Supported structures: :class:`~repro.core.alias.AliasSampler`,
-:class:`~repro.core.range_sampler.TreeWalkRangeSampler`, and
+:class:`~repro.core.range_sampler.TreeWalkRangeSampler`,
 :class:`~repro.core.range_sampler.AliasAugmentedRangeSampler` (the
-Lemma-2 structure, flat-table form). Sharing anything else raises
-:class:`ShmShareError` with a pointer back to the spec-token path.
+Lemma-2 structure; scalar builds synthesize the flat-table form on
+export), :class:`~repro.core.range_sampler.ChunkedRangeSampler`
+(Theorem 3 — chunk matrices, Fenwick array, and the nested ``T_chunk``
+ride along under a ``tchunk.`` prefix), and
+:class:`~repro.core.coverage.CoverageSampler` over a ``BSTIndex``
+(uniform/chunked backends; the nested chunked structure nests under a
+``cov.`` prefix). Sharing anything else raises :class:`ShmShareError`
+with a pointer back to the spec-token path.
 """
 
 from __future__ import annotations
@@ -344,15 +350,41 @@ def _attach_treewalk(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Any:
     return sampler
 
 
-def _export_lemma2(sampler: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-    if sampler._flat_tables is None:
-        raise ShmShareError(
-            "AliasAugmentedRangeSampler was built on the scalar path (no "
-            "flat tables) — only the packed-build form is shareable; use a "
-            "spec token for small structures"
+def _lemma2_flat_from_scalar(sampler: Any) -> tuple:
+    """Synthesize the packed flat-table form from scalar per-node tables.
+
+    A scalar-built Lemma-2 structure holds every internal node's
+    ``(prob, alias)`` eagerly; concatenating them in ascending node-id
+    order produces exactly the arrays the packed builder would have
+    stored (same float64/intp payload), so an attached copy draws
+    byte-identically whichever path built the original.
+    """
+    internal = [
+        node for node, tables in enumerate(sampler._node_tables) if tables is not None
+    ]
+    sizes = np.asarray(
+        [len(sampler._node_tables[node][0]) for node in internal], dtype=np.intp
+    )
+    out_starts = np.cumsum(sizes) - sizes if internal else sizes
+    if internal:
+        prob_flat = np.concatenate(
+            [np.asarray(sampler._node_tables[n][0], dtype=np.float64) for n in internal]
         )
+        alias_flat = np.concatenate(
+            [np.asarray(sampler._node_tables[n][1], dtype=np.intp) for n in internal]
+        )
+    else:
+        prob_flat = np.empty(0, dtype=np.float64)
+        alias_flat = np.empty(0, dtype=np.intp)
+    return np.asarray(internal, dtype=np.intp), out_starts, sizes, prob_flat, alias_flat
+
+
+def _export_lemma2(sampler: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    flat = sampler._flat_tables
+    if flat is None:
+        flat = _lemma2_flat_from_scalar(sampler)
     arrays, meta = _export_range_common(sampler)
-    internal, out_starts, sizes, prob_flat, alias_flat = sampler._flat_tables
+    internal, out_starts, sizes, prob_flat, alias_flat = flat
     arrays.update(
         {
             "flat.internal": np.asarray(internal, dtype=np.intp),
@@ -385,16 +417,150 @@ def _attach_lemma2(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Any:
     return sampler
 
 
+def _sub_manifest(
+    arrays: Dict[str, Any], meta: Dict[str, Any], prefix: str, key: str
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Strip a nested export's ``prefix.`` arrays and rehydrate its meta.
+
+    ``rng_seed`` is stamped top-level by :func:`export_sampler` only, so
+    nested sub-metas inherit the outer seed here (the nested structure's
+    instance stream is a fallback anyway — engine draws always carry an
+    explicit per-task rng).
+    """
+    sub_arrays = {
+        name[len(prefix) :]: arr
+        for name, arr in arrays.items()
+        if name.startswith(prefix)
+    }
+    sub_meta = dict(meta[key])
+    sub_meta["rng_seed"] = meta["rng_seed"]
+    return sub_arrays, sub_meta
+
+
+def _export_chunked(sampler: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    prob_mat, alias_mat, lengths, starts = sampler._ensure_chunk_matrix()
+    arrays = {
+        "keys": _numeric_array(sampler.keys, "ChunkedRangeSampler keys"),
+        "weights": np.asarray(sampler.weights, dtype=np.float64),
+        "chunk.prob": np.asarray(prob_mat, dtype=np.float64),
+        "chunk.alias": np.asarray(alias_mat, dtype=np.intp),
+        "chunk.lengths": np.asarray(lengths, dtype=np.intp),
+        "chunk.starts": np.asarray(starts, dtype=np.intp),
+        "chunk.weights": np.asarray(sampler._chunk_weights, dtype=np.float64),
+        "fenwick": np.asarray(sampler._chunk_sums._tree, dtype=np.float64),
+    }
+    t_arrays, t_meta = _export_lemma2(sampler._t_chunk)
+    arrays.update({f"tchunk.{name}": arr for name, arr in t_arrays.items()})
+    meta = {
+        "all_weights_equal": sampler._all_weights_equal,
+        "chunk_size": sampler._chunk_size,
+        "num_chunks": sampler._num_chunks,
+        "plan_cache_size": sampler.plan_cache.capacity,
+        "tchunk": t_meta,
+    }
+    return arrays, meta
+
+
+def _attach_chunked(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Any:
+    from repro.core.plan_cache import QueryPlanCache
+    from repro.core.range_sampler import ChunkedRangeSampler
+    from repro.substrates.fenwick import FenwickTree
+
+    sampler = object.__new__(ChunkedRangeSampler)
+    sampler.keys = _SharedSeq(arrays["keys"])
+    sampler.weights = arrays["weights"]
+    sampler._all_weights_equal = meta["all_weights_equal"]
+    sampler._rng = ensure_rng(meta["rng_seed"])
+    sampler._chunk_size = meta["chunk_size"]
+    sampler._num_chunks = meta["num_chunks"]
+    sampler._np_chunk_matrix = (
+        arrays["chunk.prob"],
+        arrays["chunk.alias"],
+        arrays["chunk.lengths"],
+        arrays["chunk.starts"],
+    )
+    sampler._chunk_tables = [None] * meta["num_chunks"]
+    sampler._chunk_weights = _SharedSeq(arrays["chunk.weights"])
+    # The Fenwick tree's query side only reads _tree[i]; a _SharedSeq
+    # facade keeps prefix sums in native floats, matching the rebuilt
+    # structure's arithmetic bit for bit.
+    fenwick = object.__new__(FenwickTree)
+    fenwick._tree = _SharedSeq(arrays["fenwick"])
+    fenwick._size = meta["num_chunks"]
+    sampler._chunk_sums = fenwick
+    sampler._t_chunk = _attach_lemma2(*_sub_manifest(arrays, meta, "tchunk.", "tchunk"))
+    sampler.plan_cache = QueryPlanCache(meta["plan_cache_size"])
+    return sampler
+
+
+def _export_coverage(sampler: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    index = sampler._index
+    if type(index).__name__ != "BSTIndex":
+        raise ShmShareError(
+            f"CoverageSampler over a {type(index).__name__} index cannot be "
+            "shared (only the BSTIndex adapter exposes flat node arrays); "
+            "use a spec token instead"
+        )
+    if sampler._backend == "alias":
+        raise ShmShareError(
+            'CoverageSampler backend="alias" holds ragged per-subtree '
+            "tables; share the uniform or chunked backend, or use a spec "
+            "token instead"
+        )
+    tree = index._tree
+    arrays = {
+        "keys": _numeric_array(tree.keys, "BSTIndex keys"),
+        "weights": np.asarray(tree.weights, dtype=np.float64),
+        "prefix": np.asarray(sampler._prefix, dtype=np.float64),
+    }
+    arrays.update(_export_tree(tree))
+    meta = {
+        "backend": sampler._backend,
+        "level_bounds": [tuple(b) for b in tree.level_bounds()],
+    }
+    if sampler._chunked is not None:
+        c_arrays, c_meta = _export_chunked(sampler._chunked)
+        arrays.update({f"cov.{name}": arr for name, arr in c_arrays.items()})
+        meta["chunked"] = c_meta
+    return arrays, meta
+
+
+def _attach_coverage(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Any:
+    from repro.core.coverage import BSTIndex, CoverageSampler
+
+    index = object.__new__(BSTIndex)
+    index._tree = _attach_tree(
+        arrays, meta, _SharedSeq(arrays["keys"]), arrays["weights"]
+    )
+    sampler = object.__new__(CoverageSampler)
+    sampler._index = index
+    sampler._rng = ensure_rng(meta["rng_seed"])
+    sampler._weights = _SharedSeq(arrays["weights"])
+    sampler._prefix = arrays["prefix"]
+    sampler._backend = meta["backend"]
+    sampler._span_tables = {}
+    sampler._chunked = None
+    if "chunked" in meta:
+        sampler._chunked = _attach_chunked(
+            *_sub_manifest(arrays, meta, "cov.", "chunked")
+        )
+    return sampler
+
+
 _EXPORTERS = {
     "AliasSampler": ("alias", _export_alias),
     "TreeWalkRangeSampler": ("treewalk", _export_treewalk),
     "AliasAugmentedRangeSampler": ("lemma2", _export_lemma2),
+    "ChunkedRangeSampler": ("chunked", _export_chunked),
+    "CoverageSampler": ("coverage", _export_coverage),
 }
 
 _ATTACHERS = {
     "alias": _attach_alias,
     "treewalk": _attach_treewalk,
     "lemma2": _attach_lemma2,
+    "chunked": _attach_chunked,
+    "coverage": _attach_coverage,
 }
 
 

@@ -21,6 +21,17 @@ Token shapes (first element is the kind):
   shared memory (:mod:`repro.engine.shm`, via
   :meth:`SamplingEngine.share`). The "rebuild" is an mmap attach: no
   structure arrays cross the process boundary and no O(n) build runs.
+* ``("shard", "module:Class", keys, weights)`` — rebuild one key-space
+  shard of a sharded placement from its raw arrays. The fallback path
+  for shard-resident workers when the shard's structure has no shm
+  exporter; the preferred path ships the shard as an ``("shm", ...)``
+  token instead.
+
+Shard-resident execution (:func:`execute_shard_chunk`) is the composed
+``sharded × process`` backend's worker half: one shard lives in exactly
+one resident worker, and each call executes that shard's slice of
+placement plans — ``(lo, hi, quota, seed)`` sub-draws, a few ints each —
+so per-request bytes stay O(log n) end to end.
 
 Every execution error is captured *in the worker* into the result
 envelope, so one bad request cannot poison the pool; only a worker that
@@ -42,13 +53,14 @@ from __future__ import annotations
 
 import importlib
 import pickle
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.engine.protocol import QueryRequest, QueryResult
 from repro.substrates.rng import ensure_rng
 
-__all__ = ["build_from_token", "execute_chunk"]
+__all__ = ["build_from_token", "execute_chunk", "execute_shard_chunk"]
 
 #: Per-worker-process resident samplers, keyed by the pickled token.
 _RESIDENT: Dict[bytes, Any] = {}
@@ -78,6 +90,15 @@ def build_from_token(token: Tuple[Any, ...]) -> Any:
 
         _, manifest = token
         return shm.attach_sampler(manifest)
+    if kind == "shard":
+        _, target, keys, weights = token
+        module_name, _, attr = target.partition(":")
+        shard_cls = getattr(importlib.import_module(module_name), attr)
+        # Construction consumes no instance randomness (builds are
+        # deterministic) and every shard draw arrives with an explicit
+        # per-task rng, so a fixed rebuild seed keeps the resident shard
+        # byte-identical to the parent's copy.
+        return shard_cls(list(keys), weights=list(weights), rng=0)
     raise ValueError(f"unknown build token kind {kind!r}")
 
 
@@ -165,6 +186,68 @@ def execute_chunk(
     return rebuilds, results, None
 
 
+def execute_shard_chunk(
+    key: bytes,
+    token: Tuple[Any, ...],
+    draws: List[Tuple[int, int, int, int, int, Optional[str]]],
+    harvest: bool = False,
+) -> Tuple[int, List[Tuple[str, Any]], Optional[dict]]:
+    """Execute shard sub-draws on this worker's resident shard.
+
+    ``draws`` entries are ``(shard, lo, hi, quota, seed, trace_id)`` —
+    one :class:`~repro.engine.protocol.ShardTask` each, plus the owning
+    request's trace for harvest tagging. All entries must target the
+    shard this worker's ``token`` rebuilds (the parent routes one shard
+    per resident worker). Returns ``(rebuilds, outcomes, delta)`` where
+    each outcome is ``("ok", local_indices)`` or ``("err", exception)``
+    — failures are captured per sub-draw so one bad span cannot poison
+    the shard's batchmates. With ``harvest`` on, each sub-draw lands in
+    the flight recorder tagged with its shard id (``spec`` suffix
+    ``#s<j>``), so per-shard timelines fall out of the normal obs tail.
+    """
+    base: Optional[dict] = None
+    if harvest:
+        from repro.obs import harvest as harvest_mod
+
+        obs.enable()
+        base = harvest_mod.baseline()
+    rebuilds = 0
+    sampler = _RESIDENT.get(key)
+    outcomes: List[Tuple[str, Any]] = []
+    for shard, lo, hi, quota, seed, trace_id in draws:
+        trace_token = obs.set_current_trace(trace_id) if harvest else None
+        started = time.perf_counter()
+        error: Optional[Exception] = None
+        try:
+            if sampler is None:
+                with obs.span("worker.build", kind=str(token[0])):
+                    sampler = build_from_token(token)
+                _RESIDENT[key] = sampler
+                rebuilds = 1
+            with obs.span("worker.shard_draw", s=quota, shard=shard):
+                local = sampler.sample_span(lo, hi, quota, rng=ensure_rng(seed))
+            outcomes.append(("ok", local))
+        except Exception as exc:
+            error = _picklable_error(exc)
+            outcomes.append(("err", error))
+        finally:
+            if trace_token is not None:
+                obs.reset_current_trace(trace_token)
+        if harvest:
+            obs.RECORDER.record(
+                trace=trace_id,
+                spec=f"{_spec_label(token)}#s{shard}",
+                op="sample_span",
+                s=quota,
+                backend="process",
+                duration_us=(time.perf_counter() - started) * 1e6,
+                error=type(error).__name__ if error is not None else None,
+            )
+    if harvest:
+        return rebuilds, outcomes, harvest_mod.delta_since(base)
+    return rebuilds, outcomes, None
+
+
 def _spec_label(token: Tuple[Any, ...]) -> str:
     """A short human label for the structure a build token describes."""
     kind = token[0]
@@ -172,4 +255,6 @@ def _spec_label(token: Tuple[Any, ...]) -> str:
         return str(token[1])
     if kind == "shm" and len(token) > 1:
         return f"shm:{token[1].get('kind', '?')}"
+    if kind == "shard" and len(token) > 1:
+        return f"shard:{str(token[1]).rpartition(':')[2]}"
     return str(kind)

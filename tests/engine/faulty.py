@@ -6,10 +6,12 @@ process backend's workers import it by dotted path through a
 """
 
 import os
-from typing import Any, ClassVar, List, Mapping
+from typing import Any, ClassVar, List, Mapping, Optional, Sequence
 
 from repro import obs
+from repro.core.range_sampler import RangeSamplerBase
 from repro.engine.protocol import EngineOp, EngineSampler
+from repro.substrates.rng import ensure_rng
 
 
 class FaultySampler(EngineSampler):
@@ -54,3 +56,40 @@ class FaultySampler(EngineSampler):
 
 def build_faulty(**params: Any) -> FaultySampler:
     return FaultySampler()
+
+
+class FaultyRangeSampler(RangeSamplerBase):
+    """Range structure whose shard hard-dies over poisoned keys.
+
+    Keys below :data:`DIE_BELOW` are poisoned: ``sample_span`` over a
+    span that starts on a poisoned key calls ``os._exit``. Under the
+    composed ``sharded × process`` backend only the shard *owning* those
+    keys has a dying resident worker, so the crash-isolation test can
+    assert that requests touching that shard fail with
+    ``WorkerCrashedError`` while requests confined to sibling shards
+    keep succeeding on their intact residents. The class is importable
+    by dotted path (this module, not a ``test_*`` file) because the
+    runner's fallback ``("shard", ...)`` token rebuilds it worker-side.
+    """
+
+    DIE_BELOW = 10.0
+
+    def __init__(
+        self,
+        keys: Sequence[float],
+        weights: Optional[Sequence[float]] = None,
+        rng: Any = None,
+    ):
+        super().__init__(keys, weights)
+        self._rng = ensure_rng(rng)
+
+    def sample_span(
+        self, lo: int, hi: int, s: int, rng: Any = None
+    ) -> List[int]:
+        if self.keys[lo] < self.DIE_BELOW:
+            os._exit(17)
+        rng = self._rng if rng is None else rng
+        width = hi - lo
+        return [
+            lo + min(int(rng.random() * width), width - 1) for _ in range(s)
+        ]

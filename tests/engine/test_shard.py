@@ -142,14 +142,34 @@ class TestEdgeCases:
         with pytest.raises(TypeError, match="num_shards must be an int"):
             ShardedSampler.from_sampler(make_sampler(), 2.5)
 
-    def test_view_is_memoized_per_engine_geometry(self):
+    def test_view_is_memoized_on_the_engine_not_the_sampler(self):
         engine = SamplingEngine(backend="shard", seed=1, shards=4)
         sampler = make_sampler()
         engine.run(sampler, make_requests(count=2))
-        first = sampler._engine_shard_views
+        views = engine._placement._views
+        assert len(views) == 1
+        (memo_sampler, view), = views.values()
+        assert memo_sampler is sampler
         engine.run(sampler, make_requests(count=2))
-        assert sampler._engine_shard_views is first
-        assert len(first) == 1
+        assert engine._placement._views[id(sampler)][1] is view
+        # The wrapped sampler stays pristine: nothing is monkey-stashed
+        # on the caller's structure, so two engines can't fight over it.
+        assert not hasattr(sampler, "_engine_shard_views")
+
+    def test_close_shuts_down_cached_views_deterministically(self):
+        engine = SamplingEngine(backend="shard", seed=1, shards=4, max_workers=4)
+        sampler = make_sampler()
+        engine.run(sampler, make_requests(count=2))
+        (_, view), = engine._placement._views.values()
+        view._shard_pool()  # force the fan-out pool into existence
+        assert view._pool is not None
+        engine.close()
+        assert engine._placement._views == {}
+        assert view._pool is None  # ShardedSampler.close() ran
+        # close is idempotent and the engine stays usable for a new run
+        engine.close()
+        engine.run(sampler, make_requests(count=1))
+        engine.close()
 
 
 class TestObservability:

@@ -95,20 +95,70 @@ class TestRoundTrip:
             shm.unlink_segments(segments)
 
     def test_unsupported_structure_raises(self):
-        keys, weights = make_keys_weights(500)
-        chunked = ChunkedRangeSampler(keys, weights, rng=3)
+        from tests.engine.faulty import build_faulty
+
         with pytest.raises(shm.ShmShareError, match="spec token"):
-            shm.export_sampler(chunked)
+            shm.export_sampler(build_faulty())
 
-    def test_scalar_built_lemma2_raises(self, monkeypatch):
-        from repro.core import kernels
-
+    def test_scalar_built_lemma2_round_trips(self, monkeypatch):
+        # A scalar build keeps per-node tables instead of the flat form;
+        # the exporter synthesizes the flat arrays so the attached copy
+        # still draws byte-identically.
         monkeypatch.setattr(kernels, "HAVE_NUMPY", False)
         keys, weights = make_keys_weights(200)
         scalar_form = AliasAugmentedRangeSampler(keys, weights, rng=3)
         assert scalar_form._flat_tables is None
-        with pytest.raises(shm.ShmShareError, match="scalar path"):
-            shm.export_sampler(scalar_form)
+        manifest, segments = shm.export_sampler(scalar_form)
+        try:
+            attached = shm.attach_sampler(manifest)
+            lo, hi = keys[10], keys[-10]
+            expected = scalar_form.sample(lo, hi, 200, rng=ensure_rng(99))
+            assert attached.sample(lo, hi, 200, rng=ensure_rng(99)) == expected
+        finally:
+            shm.unlink_segments(segments)
+
+    def test_chunked_round_trips(self):
+        keys, weights = make_keys_weights(2000)
+        original = ChunkedRangeSampler(keys, weights, rng=3)
+        manifest, segments = shm.export_sampler(original)
+        try:
+            attached = shm.attach_sampler(manifest)
+            assert type(attached) is ChunkedRangeSampler
+            lo, hi = keys[50], keys[-50]
+            expected = original.sample(lo, hi, 400, rng=ensure_rng(99))
+            got = attached.sample(lo, hi, 400, rng=ensure_rng(99))
+            assert got == expected
+            assert {type(v) for v in got} == {type(v) for v in expected}
+        finally:
+            shm.unlink_segments(segments)
+
+    @pytest.mark.parametrize("uniform", [True, False])
+    def test_coverage_round_trips(self, uniform):
+        from repro.core.coverage import BSTIndex, CoverageSampler
+
+        keys, weights = make_keys_weights(800)
+        if uniform:
+            weights = None
+        original = CoverageSampler(BSTIndex(keys, weights), rng=3)
+        manifest, segments = shm.export_sampler(original)
+        try:
+            attached = shm.attach_sampler(manifest)
+            assert attached.backend == original.backend
+            query = (keys[30], keys[-30])
+            expected = original.sample(query, 300, rng=ensure_rng(99))
+            got = attached.sample(query, 300, rng=ensure_rng(99))
+            assert got == expected
+            assert {type(v) for v in got} == {type(v) for v in expected}
+        finally:
+            shm.unlink_segments(segments)
+
+    def test_coverage_alias_backend_raises(self):
+        from repro.core.coverage import BSTIndex, CoverageSampler
+
+        keys, weights = make_keys_weights(100)
+        sampler = CoverageSampler(BSTIndex(keys, weights), backend="alias", rng=3)
+        with pytest.raises(shm.ShmShareError, match="alias"):
+            shm.export_sampler(sampler)
 
     def test_attach_records_histogram(self, metrics_on):
         keys, weights = make_keys_weights(500)
