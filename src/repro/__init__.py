@@ -36,7 +36,10 @@ from repro.core import (
     FlatTreeSampler,
     NaiveRangeSampler,
     NaiveSetUnionSampler,
+    PlanScope,
+    PlanStore,
     PrecomputedCoverSampler,
+    QueryPlan,
     QueryPlanCache,
     SetUnionSampler,
     Tree,
@@ -126,6 +129,9 @@ __all__ = [
     "NaiveRangeSampler",
     "NaiveSetUnionSampler",
     "PrecomputedCoverSampler",
+    "PlanScope",
+    "PlanStore",
+    "QueryPlan",
     "QueryPlanCache",
     "SetUnionSampler",
     "Tree",

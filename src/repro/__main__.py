@@ -91,6 +91,48 @@ def _engine_list() -> int:
     return 0
 
 
+def _engine_explain(engine, sampler, request, spec: str) -> int:
+    """Print a request's query plan without executing any draws."""
+    try:
+        info = engine.explain(sampler, request)
+    except NotImplementedError:
+        print(
+            f"error: {spec} does not participate in the plan layer "
+            f"(no plan_kind)",
+            file=sys.stderr,
+        )
+        return 2
+    except TypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"spec:      {spec} ({type(sampler).__name__})")
+    print(
+        f"backend:   placement={engine.placement} "
+        f"execution={engine.execution}"
+    )
+    print(f"plan:      kind={info['kind']} key={info['key']!r}")
+    print(
+        f"cover:     {info['cover_spans']} canonical span(s), "
+        f"total weight {info['total_weight']:.6g}"
+    )
+    print(
+        f"source:    "
+        f"{'plan store (cached)' if info['cached'] else 'built cold'}"
+    )
+    split = info.get("budget_split")
+    if split:
+        print(f"fan-out:   s={request.s} over {len(split)} active shard(s)")
+        for row in split:
+            a, b = row["span"]
+            print(
+                f"  shard {row['shard']}: span=[{a}, {b})  "
+                f"weight={row['weight']:.6g}  "
+                f"expected quota={row['expected_quota']:.2f}"
+            )
+    print("draws:     none executed (--explain plans only)")
+    return 0
+
+
 def _engine_run(
     spec: str,
     requests: int,
@@ -105,6 +147,7 @@ def _engine_run(
     jit: bool | None = None,
     shm: bool = False,
     placement: str | None = None,
+    explain: bool = False,
 ) -> int:
     from time import perf_counter
 
@@ -143,6 +186,11 @@ def _engine_run(
         print(f"error: {exc}", file=sys.stderr)
         return 2
     composed_process = engine.placement == "sharded" and engine.execution == "process"
+    if explain:
+        try:
+            return _engine_explain(engine, sampler, batch[0], spec)
+        finally:
+            engine.close()
     try:
         if composed_process:
             if shm:
@@ -405,6 +453,12 @@ def main(argv=None) -> int:
         help="with --backend process: export the structure to shared "
              "memory so workers mmap-attach instead of rebuilding",
     )
+    run_parser.add_argument(
+        "--explain", action="store_true",
+        help="print the query plan (canonical cover, cache state, and — "
+             "under --placement sharded — the expected budget split per "
+             "shard) without executing any draws",
+    )
     obs_parser = subparsers.add_parser(
         "obs", help="run a representative workload and dump the metrics snapshot"
     )
@@ -442,6 +496,7 @@ def main(argv=None) -> int:
             args.spec, args.requests, args.s, args.backend, args.seed, args.n,
             args.shards, args.workers, repeat=args.repeat, warmup=args.warmup,
             jit=args.jit, shm=args.shm, placement=args.placement,
+            explain=args.explain,
         )
     if args.command == "obs":
         if args.action == "tail":

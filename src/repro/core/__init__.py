@@ -34,6 +34,7 @@ from repro.core.dynamic import BucketDynamicSampler, FenwickDynamicSampler
 from repro.core.dynamic_range import DynamicRangeSampler
 from repro.core.naive import NaiveRangeSampler, NaiveSetUnionSampler
 from repro.core.plan_cache import QueryPlanCache
+from repro.core.planner import PlanScope, PlanStore, QueryPlan, plan_scope
 from repro.core.range_sampler import (
     AliasAugmentedRangeSampler,
     ChunkedRangeSampler,
@@ -64,6 +65,10 @@ __all__ = [
     "NaiveRangeSampler",
     "NaiveSetUnionSampler",
     "QueryPlanCache",
+    "QueryPlan",
+    "PlanScope",
+    "PlanStore",
+    "plan_scope",
     "AliasAugmentedRangeSampler",
     "ChunkedRangeSampler",
     "TreeWalkRangeSampler",

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
+from repro import obs
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
+from repro.core.planner import QueryPlan, plan_scope
 from repro.core.range_sampler import ChunkedRangeSampler
 from repro.core.schemes import multinomial_split
 from repro.engine.protocol import EngineOp, EngineSampler
@@ -99,6 +101,11 @@ class CoverageSampler(EngineSampler):
         module docstring.
     rng:
         Seed or generator for all sampling randomness.
+    plan_cache_size:
+        Plan-cache capacity (``None`` joins the shared engine-scoped
+        store sized by ``REPRO_PLAN_CACHE_SIZE``; 0 disables). Covers
+        are deterministic, so memoizing them per query cannot change
+        any output — only skip the cover-finding work on hot queries.
     """
 
     engine_ops = {
@@ -107,7 +114,15 @@ class CoverageSampler(EngineSampler):
     }
     engine_thread_safe = True
 
-    def __init__(self, index: CoverableIndex, backend: str = "auto", rng: RNGLike = None):
+    plan_kind = "coverage"
+
+    def __init__(
+        self,
+        index: CoverableIndex,
+        backend: str = "auto",
+        rng: RNGLike = None,
+        plan_cache_size: Optional[int] = None,
+    ):
         self._index = index
         self._rng = ensure_rng(rng)
         weights = list(index.leaf_weights)
@@ -144,6 +159,7 @@ class CoverageSampler(EngineSampler):
             for lo, hi in spans():
                 if hi - lo > 1:
                     self._span_tables[(lo, hi)] = build_alias_tables(weights[lo:hi])
+        self.plan_cache = plan_scope(self.plan_kind, plan_cache_size)
 
     @property
     def backend(self) -> str:
@@ -171,26 +187,76 @@ class CoverageSampler(EngineSampler):
         prob, alias = tables
         return [lo + alias_draw(prob, alias, rng) for _ in range(count)]
 
-    def sample_indices(self, query: Any, s: int, *, rng: RNGLike = None) -> List[int]:
-        """``s`` independent weighted sample positions from ``S_q``.
+    def _build_plan(self, query: Any, hint: Any = None) -> QueryPlan:
+        """Theorem-5 plan: the cover ``C_q`` and its span weights."""
+        if hint is not None:
+            cover = [tuple(span) for span in hint]
+        else:
+            cover = self._index.find_cover(query)
+        weights = [self.span_weight(span) for span in cover]
+        return QueryPlan(
+            self.plan_kind,
+            query,
+            spans=tuple(cover),
+            weights=tuple(weights),
+            payload=(cover, weights),
+            hint=tuple(cover),
+        )
 
-        Runs the Theorem-5 algorithm: find ``C_q``, build an alias
-        structure over it in ``O(|C_q|)``, split the draws, then sample
-        each part from its subtree.
+    def plan_query(self, query: Any, *, portable: Any = None) -> QueryPlan:
+        """The (memoized) plan for ``query``.
+
+        Unhashable queries (an index type with, say, list-shaped
+        predicates) are planned per call and bypass the store.
         """
-        validate_sample_size(s)
+        hint = None
+        if portable is not None:
+            kind, key, hint = portable
+            if kind != self.plan_kind or key != query:
+                hint = None
+        try:
+            plan = self.plan_cache.get(query)
+        except TypeError:  # unhashable query: plan without caching
+            return self._build_plan(query, hint=hint)
+        if plan is None:
+            if obs.ENABLED:
+                with obs.span("plan.build", kind=self.plan_kind):
+                    plan = self._build_plan(query, hint=hint)
+            else:
+                plan = self._build_plan(query, hint=hint)
+            self.plan_cache.put(query, plan)
+        return plan
+
+    def plan_request(self, request) -> QueryPlan:
+        """Plan an engine request without executing draws (--explain)."""
+        self.validate_request(request)
+        return self.plan_query(request.args[0])
+
+    def execute_plan(self, plan: QueryPlan, s: int, *, rng: RNGLike = None) -> List[int]:
+        """Spend the randomness: split ``s`` across the cover and draw."""
         rng = self._rng if rng is None else rng
-        cover = self._index.find_cover(query)
+        cover, weights = plan.payload
         if not cover:
-            raise EmptyQueryError(f"no elements satisfy {query!r}")
+            raise EmptyQueryError(f"no elements satisfy {plan.key!r}")
         if len(cover) == 1:
             return self._draw_from_span(cover[0], s, rng)
-        counts = multinomial_split([self.span_weight(span) for span in cover], s, rng)
+        counts = multinomial_split(weights, s, rng)
         result: List[int] = []
         for span, count in zip(cover, counts):
             if count:
                 result.extend(self._draw_from_span(span, count, rng))
         return result
+
+    def sample_indices(self, query: Any, s: int, *, rng: RNGLike = None) -> List[int]:
+        """``s`` independent weighted sample positions from ``S_q``.
+
+        Runs the Theorem-5 algorithm as the plan → execute compose:
+        find ``C_q`` and its span weights (:meth:`plan_query`, cached),
+        then split the draws and sample each part from its subtree
+        (:meth:`execute_plan`).
+        """
+        validate_sample_size(s)
+        return self.execute_plan(self.plan_query(query), s, rng=rng)
 
     def sample(self, query: Any, s: int, *, rng: RNGLike = None) -> List[Any]:
         """``s`` independent weighted samples (as stored items) from ``S_q``."""

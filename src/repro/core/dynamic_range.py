@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Generic, List, Optional, Tuple, TypeVar
 
+from repro.core.planner import QueryPlan
 from repro.engine.protocol import EngineOp, RangeQueryMixin
 from repro.errors import BuildError, EmptyQueryError, InvalidWeightError
 from repro.substrates.rng import RNGLike, ensure_rng
@@ -94,6 +95,8 @@ class DynamicRangeSampler(RangeQueryMixin, Generic[K]):
         "sample": EngineOp("sample", takes_s=True, pass_rng=False),
     }
     engine_thread_safe = False
+
+    plan_kind = "dynamic"
 
     def __init__(self, rng: RNGLike = None):
         self._rng = ensure_rng(rng)
@@ -232,21 +235,44 @@ class DynamicRangeSampler(RangeQueryMixin, Generic[K]):
                 return node.key
             node = node.right
 
-    def sample(self, x: K, y: K, s: int) -> List[K]:
-        """``s`` independent weighted samples from ``S ∩ [x, y]``.
+    def plan_range(self, x: K, y: K) -> QueryPlan:
+        """The query plan for ``[x, y]`` — built per call, never cached.
 
-        O((1 + s) log n) expected; outputs of all queries are mutually
-        independent, and stay so across arbitrary interleaved updates.
+        The treap mutates under ``insert``/``delete``/``update_weight``
+        and the plan's payload holds live node references, so a cached
+        plan could dangle after any update; the dynamic path therefore
+        plans fresh each query (still randomness-free — all randomness
+        is spent in :meth:`execute_plan`).
         """
-        validate_sample_size(s)
         cover = self._canonical_subtrees(x, y)
-        if not cover:
-            raise EmptyQueryError(f"no keys in [{x!r}, {y!r}]")
         cumulative: List[float] = []
+        weights: List[float] = []
         running = 0.0
         for node, whole in cover:
-            running += node.subtree_weight if whole else node.weight
+            weight = node.subtree_weight if whole else node.weight
+            weights.append(weight)
+            running += weight
             cumulative.append(running)
+        return QueryPlan(
+            self.plan_kind,
+            (x, y),
+            spans=None,  # treap subtrees have no positional index spans
+            weights=tuple(weights),
+            payload=(cover, cumulative, running),
+        )
+
+    def plan_request(self, request) -> QueryPlan:
+        """Plan an engine request without executing draws (--explain)."""
+        self.validate_request(request)
+        x, y = request.args
+        plan = self.plan_range(x, y)
+        if not plan.payload[0]:
+            raise EmptyQueryError(f"no keys in [{x!r}, {y!r}]")
+        return plan
+
+    def execute_plan(self, plan: QueryPlan, s: int) -> List[K]:
+        """Draw ``s`` samples from a plan (all randomness spent here)."""
+        cover, cumulative, running = plan.payload
         rng = self._rng
         result: List[K] = []
         from bisect import bisect_right
@@ -259,6 +285,18 @@ class DynamicRangeSampler(RangeQueryMixin, Generic[K]):
             node, whole = cover[index]
             result.append(self._walk(node) if whole else node.key)
         return result
+
+    def sample(self, x: K, y: K, s: int) -> List[K]:
+        """``s`` independent weighted samples from ``S ∩ [x, y]``.
+
+        O((1 + s) log n) expected; outputs of all queries are mutually
+        independent, and stay so across arbitrary interleaved updates.
+        """
+        validate_sample_size(s)
+        plan = self.plan_range(x, y)
+        if not plan.payload[0]:
+            raise EmptyQueryError(f"no keys in [{x!r}, {y!r}]")
+        return self.execute_plan(plan, s)
 
     def keys_in_order(self) -> List[K]:
         """In-order key listing (testing helper)."""

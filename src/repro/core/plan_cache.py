@@ -1,165 +1,51 @@
-"""Bounded LRU cache for deterministic query plans.
+"""Backward-compatible facade over the query-planning layer.
 
-The range samplers split every query ``[x, y]`` into a *plan* — the
-canonical cover and its cover-level alias tables
-(:class:`~repro.core.range_sampler.TreeWalkRangeSampler`), or the
-Figure-2 ``query_split`` plus the partial-chunk alias tables
-(:class:`~repro.core.range_sampler.ChunkedRangeSampler`). A plan is a
-pure function of the *structure* and the query span: computing it
-consumes no randomness. Memoizing plans therefore cannot compromise the
-IQS guarantee — repeated queries still draw fresh randomness through the
-sampler's RNG stream, and a warm-cache run produces byte-identical
-samples to a cold-cache run under the same seed (asserted in
-``tests/core/test_plan_cache.py``).
+The bounded per-instance LRU that lived here (``QueryPlanCache``) has
+been rebuilt around :mod:`repro.core.planner`: plans are now
+:class:`~repro.core.planner.QueryPlan` values held in a shared
+:class:`~repro.core.planner.PlanStore` (keyed by structure fingerprint ×
+plan kind × canonical range), and each sampler's ``plan_cache``
+attribute is a :class:`~repro.core.planner.PlanScope` view of it.
 
-What caching buys is the serving regime Afshani–Phillips and Huang–Wang
-highlight: many queries skewed toward hot ranges, each wanting a batch of
-draws. There the per-query O(log n) cover walk and table build dominate
-the O(1)-per-draw sampling; a cache hit removes them entirely.
-
-Capacity is resolved, in order, from the constructor argument and the
-``REPRO_PLAN_CACHE_SIZE`` environment variable, falling back to
-:data:`DEFAULT_CAPACITY`. Capacity 0 disables caching outright (every
-lookup is a bypass; counters stay at zero). Hit/miss/eviction counters
-are exposed for observability and asserted in tests.
+``QueryPlanCache`` remains importable for existing callers and tests:
+it is a :class:`PlanScope` bound to a *private* single-owner store, so
+its LRU mechanics, counters, capacity resolution
+(``REPRO_PLAN_CACHE_SIZE`` / :data:`DEFAULT_CAPACITY`) and the
+capacity-0 kill switch behave exactly as before. New code should use
+:func:`repro.core.planner.plan_scope` (joins the shared engine-scoped
+store) and read cache stats from the obs ``plan_cache.*`` counters; the
+``stats()`` method is deprecated.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional
+from typing import Optional
 
-from repro import obs
-from repro.substrates.env import env_int
-
-# Registry-backed counters (repro.obs), aggregated across every cache in
-# the process; the per-instance ints remain for the ``stats()`` shim.
-_HITS = obs.counter("plan_cache.hits", "Query-plan cache hits (all caches)")
-_MISSES = obs.counter("plan_cache.misses", "Query-plan cache misses (all caches)")
-_EVICTIONS = obs.counter("plan_cache.evictions", "Query-plan cache LRU evictions")
-
-#: Plans kept per sampler when neither the constructor argument nor the
-#: environment variable overrides it. Sized for a hot-range working set:
-#: each plan is O(log n) ids and floats, so the cache is a few kilobytes.
-DEFAULT_CAPACITY = 256
-
-#: Environment variable consulted when no capacity argument is given.
-ENV_CAPACITY = "REPRO_PLAN_CACHE_SIZE"
-
-_MISSING = object()
+from repro.core.planner import (  # noqa: F401  (re-exported compatibility names)
+    DEFAULT_CAPACITY,
+    ENV_CAPACITY,
+    PlanScope,
+    PlanStore,
+    resolve_capacity,
+)
 
 
-def resolve_capacity(capacity: Optional[int] = None) -> int:
-    """Resolve a cache capacity from the argument or the environment."""
-    if capacity is None:
-        capacity = env_int(ENV_CAPACITY, DEFAULT_CAPACITY)
-    if capacity < 0:
-        raise ValueError(f"plan cache capacity must be >= 0, got {capacity}")
-    return capacity
+class QueryPlanCache(PlanScope):
+    """A single-owner plan cache: one private LRU store, one scope.
 
-
-class QueryPlanCache:
-    """LRU map from a query key (e.g. a ``(lo, hi)`` span) to its plan.
-
-    Parameters
-    ----------
-    capacity:
-        Maximum number of plans retained; least-recently-used plans are
-        evicted first. ``None`` defers to ``REPRO_PLAN_CACHE_SIZE`` and
-        then :data:`DEFAULT_CAPACITY`; ``0`` disables the cache.
-
-    Attributes
-    ----------
-    hits, misses, evictions:
-        Monotone counters. A disabled cache (capacity 0) records nothing.
+    Kept as the compatibility shape for code (and shared-memory
+    manifests) that sized caches per sampler; the mechanics all live in
+    :class:`~repro.core.planner.PlanStore` now.
     """
 
-    __slots__ = ("_capacity", "_entries", "_lock", "hits", "misses", "evictions")
+    __slots__ = ()
 
     def __init__(self, capacity: Optional[int] = None):
-        self._capacity = resolve_capacity(capacity)
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
-        # The engine's thread backend drives concurrent queries through
-        # one sampler; move_to_end/popitem are not atomic, so reads take
-        # the lock too (plan computation itself stays outside it).
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-
-    @property
-    def capacity(self) -> int:
-        return self._capacity
-
-    @property
-    def enabled(self) -> bool:
-        return self._capacity > 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get(self, key: Hashable) -> Any:
-        """The cached plan for ``key``, or ``None`` (recorded as a miss)."""
-        if self._capacity == 0:
-            return None
-        with self._lock:
-            entry = self._entries.get(key, _MISSING)
-            if entry is _MISSING:
-                self.misses += 1
-                if obs.ENABLED:
-                    _MISSES.inc()
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-        if obs.ENABLED:
-            _HITS.inc()
-        return entry
-
-    def put(self, key: Hashable, plan: Any) -> None:
-        """Insert (or refresh) a plan, evicting the LRU entry if full."""
-        if self._capacity == 0:
-            return
-        evicted = False
-        with self._lock:
-            entries = self._entries
-            if key in entries:
-                entries.move_to_end(key)
-            entries[key] = plan
-            if len(entries) > self._capacity:
-                entries.popitem(last=False)
-                self.evictions += 1
-                evicted = True
-        if evicted and obs.ENABLED:
-            _EVICTIONS.inc()
-
-    def clear(self) -> None:
-        """Drop all plans; counters are preserved."""
-        with self._lock:
-            self._entries.clear()
-
-    def stats(self) -> Dict[str, int]:
-        """Counter snapshot: hits, misses, evictions, size, capacity.
-
-        Thin shim kept for backward compatibility: the authoritative,
-        process-wide counters now live in the ``repro.obs`` registry
-        (``plan_cache.hits`` / ``.misses`` / ``.evictions``, populated
-        when ``REPRO_METRICS`` is enabled, with a derived
-        ``plan_cache.hit_rate``). This method reports the bespoke
-        *per-instance* tallies, which record regardless of the metrics
-        switch.
-        """
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "capacity": self._capacity,
-        }
+        super().__init__(PlanStore(capacity), "legacy")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"QueryPlanCache(capacity={self._capacity}, size={len(self._entries)}, "
+            f"QueryPlanCache(capacity={self.capacity}, size={len(self)}, "
             f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
         )
 

@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, ClassVar, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core import kernels
 from repro.core.alias import AliasTables, alias_draw, build_alias_tables
-from repro.core.plan_cache import QueryPlanCache
+from repro.core.planner import QueryPlan, plan_scope
 from repro.core.schemes import multinomial_split
 from repro.engine.protocol import RangeQueryMixin
 from repro.errors import BuildError, EmptyQueryError
@@ -75,7 +75,19 @@ class RangeSamplerBase(RangeQueryMixin):
     accepts a keyword-only ``rng`` override so a batch executor can run
     each request on its own independent stream (``None`` keeps the
     instance stream — the byte-identical legacy behaviour).
+
+    Planful subclasses (``plan_kind`` set) additionally implement the
+    plan → execute split: :meth:`plan_span` returns a deterministic
+    :class:`~repro.core.planner.QueryPlan` (cached through the shared
+    plan store; consumes **no** randomness), :meth:`execute_plan` spends
+    the randomness, and :meth:`sample_span` is the thin compose of the
+    two. The split is what lets the engine plan once per request and
+    ship the plan to shard executions.
     """
+
+    #: Plan-kind tag for planful subclasses; ``None`` marks a sampler
+    #: whose queries have no reusable plan (naive scans, etc.).
+    plan_kind: ClassVar[Optional[str]] = None
 
     def __init__(self, keys: Sequence[float], weights: Optional[Sequence[float]] = None):
         if len(keys) == 0:
@@ -160,6 +172,73 @@ class RangeSamplerBase(RangeQueryMixin):
         """
         raise NotImplementedError
 
+    # -- plan → execute split (planful subclasses) ---------------------
+
+    def plan_span(self, lo: int, hi: int, *, portable: Any = None) -> QueryPlan:
+        """The (memoized) :class:`QueryPlan` for the index range
+        ``[lo, hi)``.
+
+        Planning is a pure function of the structure and the span — it
+        consumes no randomness, which is the property that makes both
+        caching and cross-process shipping of plans safe. ``portable``
+        optionally carries a :meth:`QueryPlan.portable` hint from a plan
+        built elsewhere (the parent process, under sharded placement),
+        letting this sampler materialize the plan without redoing the
+        cover search.
+        """
+        if self.plan_kind is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no query-plan layer"
+            )
+        plan = self.plan_cache.get((lo, hi))
+        if plan is None:
+            hint = None
+            if portable is not None:
+                kind, key, hint = portable
+                if kind != self.plan_kind or key != (lo, hi):
+                    hint = None  # foreign hint: fall back to a local build
+            if obs.ENABLED:
+                with obs.span("plan.build", kind=self.plan_kind, span=hi - lo):
+                    plan = self._build_plan(lo, hi, hint=hint)
+            else:
+                plan = self._build_plan(lo, hi, hint=hint)
+            self.plan_cache.put((lo, hi), plan)
+        return plan
+
+    def _build_plan(self, lo: int, hi: int, hint: Any = None) -> QueryPlan:
+        """Build the plan for ``[lo, hi)`` (subclass hook).
+
+        ``hint`` is this sampler kind's plain-data decomposition summary
+        (from :meth:`QueryPlan.portable`); when present the cover search
+        is skipped and only the local draw state is resolved.
+        """
+        raise NotImplementedError
+
+    def execute_plan(
+        self, plan: QueryPlan, s: int, rng: RNGLike = None
+    ) -> List[int]:
+        """Draw ``s`` samples from a plan (all randomness spent here).
+
+        Assumes a plan built by this sampler (or rebuilt from its
+        portable form) and ``s >= 1``; :meth:`sample_span` is the
+        validating compose.
+        """
+        raise NotImplementedError
+
+    def plan_request(self, request) -> QueryPlan:
+        """Plan an engine request without executing any draws.
+
+        Backs ``python -m repro engine run --explain``: validates the
+        request, resolves the key span, and returns the plan that
+        executing the request would consume.
+        """
+        self.validate_request(request)
+        x, y = request.args
+        lo, hi = self.span_of(x, y)
+        if lo >= hi:
+            raise EmptyQueryError(f"no keys in [{x}, {y}]")
+        return self.plan_span(lo, hi)
+
     def sample_without_replacement(
         self, x: float, y: float, s: int, *, rng: RNGLike = None
     ) -> List[float]:
@@ -236,11 +315,14 @@ class TreeWalkRangeSampler(RangeSamplerBase):
     coin, which is exactly the fanout-2 alias structure of §3.2.
 
     Repeated spans reuse their canonical cover and cover-level alias
-    tables through a :class:`QueryPlanCache` (``plan_cache_size``
-    constructor knob / ``REPRO_PLAN_CACHE_SIZE`` env var; 0 disables) —
-    the plan is deterministic, so caching leaves every query's output
-    distribution and independence untouched.
+    tables as a :class:`~repro.core.planner.QueryPlan` through the
+    shared plan store (``plan_cache_size`` constructor knob /
+    ``REPRO_PLAN_CACHE_SIZE`` env var; 0 disables) — the plan is
+    deterministic, so caching leaves every query's output distribution
+    and independence untouched.
     """
+
+    plan_kind = "treewalk"
 
     def __init__(
         self,
@@ -253,23 +335,28 @@ class TreeWalkRangeSampler(RangeSamplerBase):
         self._tree = StaticBST(self.keys, self.weights)
         self._rng = ensure_rng(rng)
         self._np_tree = None  # numpy copy of the BST arrays, built lazily
-        self.plan_cache = QueryPlanCache(plan_cache_size)
+        self.plan_cache = plan_scope(self.plan_kind, plan_cache_size)
 
-    def _span_plan(self, lo: int, hi: int):
-        """Cover + cover-level alias tables for ``[lo, hi)``, memoized.
+    def _build_plan(self, lo: int, hi: int, hint: Any = None) -> QueryPlan:
+        """Cover + cover-level alias tables for ``[lo, hi)``.
 
-        The plan tuple is ``(cover, prob, alias, np_slot)`` where
-        ``np_slot`` lazily holds the numpy views used by the batch path.
+        The payload is ``(cover, prob, alias, np_slot)`` where
+        ``np_slot`` lazily holds the numpy views used by the batch path;
+        the hint is the cover node ids, from which a worker process can
+        rebuild the plan without redoing the O(log n) cover search.
         """
-        plan = self.plan_cache.get((lo, hi))
-        if plan is None:
-            tree = self._tree
-            cover = tree.canonical_nodes_for_span(lo, hi)
-            cover_weights = [tree.node_weight(u) for u in cover]
-            prob, alias = build_alias_tables(cover_weights)
-            plan = (cover, prob, alias, [None])
-            self.plan_cache.put((lo, hi), plan)
-        return plan
+        tree = self._tree
+        cover = list(hint) if hint is not None else tree.canonical_nodes_for_span(lo, hi)
+        cover_weights = [tree.node_weight(u) for u in cover]
+        prob, alias = build_alias_tables(cover_weights)
+        return QueryPlan(
+            self.plan_kind,
+            (lo, hi),
+            spans=tuple(tree.leaf_span(u) for u in cover),
+            weights=tuple(cover_weights),
+            payload=(cover, prob, alias, [None]),
+            hint=tuple(cover),
+        )
 
     def sample_span(
         self, lo: int, hi: int, s: int, rng: RNGLike = None
@@ -277,13 +364,18 @@ class TreeWalkRangeSampler(RangeSamplerBase):
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
+        return self.execute_plan(self.plan_span(lo, hi), s, rng=rng)
+
+    def execute_plan(
+        self, plan: QueryPlan, s: int, rng: RNGLike = None
+    ) -> List[int]:
         tree = self._tree
         rng = self._rng if rng is None else rng
         enabled = obs.ENABLED
         if enabled:
             _TW_QUERIES.inc()
             _TW_DRAWS.add(s)
-        cover, prob, alias, np_slot = self._span_plan(lo, hi)
+        cover, prob, alias, np_slot = plan.payload
         if kernels.use_batch(s):
             return self._sample_span_batch(cover, prob, alias, np_slot, s, rng)
         # Local bindings for the packed node lists: the walk is the hot
@@ -371,6 +463,8 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
     that node's pre-built alias structure in O(1) per sample.
     """
 
+    plan_kind = "lemma2"
+
     def __init__(
         self,
         keys: Sequence[float],
@@ -399,7 +493,7 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
         # numpy copies of per-node tables, converted on first batched use
         # (already present when the packed builder ran).
         self._np_node_tables: dict = {}
-        self.plan_cache = QueryPlanCache(plan_cache_size)
+        self.plan_cache = plan_scope(self.plan_kind, plan_cache_size)
 
     def _build_node_tables_packed(self) -> None:
         """Build *every* internal node's urn table in one flat kernel call.
@@ -460,26 +554,34 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
             self._node_tables[node] = tables
         return tables
 
-    def _cover_plan(self, lo: int, hi: int):
-        """Memoized query plan for ``[lo, hi)``.
+    def _build_plan(self, lo: int, hi: int, hint: Any = None) -> QueryPlan:
+        """The Lemma-2 plan for ``[lo, hi)``.
 
-        A plan is ``(cover_weights, entries)`` where each entry is
+        The payload is ``(cover_weights, entries)`` where each entry is
         ``(node, node_lo, tables_or_None)`` — ``None`` marks a leaf.
         Resolving spans and tables at plan time keeps the warm-cache query
-        path free of per-node tree lookups.
+        path free of per-node tree lookups. The hint is the cover node
+        ids (tables are re-resolved locally — they are views into this
+        instance's structure, not shippable data).
         """
-        plan = self.plan_cache.get((lo, hi))
-        if plan is None:
-            tree = self._tree
-            cover = tree.canonical_nodes_for_span(lo, hi)
-            entries = []
-            for node in cover:
-                node_lo, _ = tree.leaf_span(node)
-                tables = None if tree.is_leaf(node) else self._node_table(node)
-                entries.append((node, node_lo, tables))
-            plan = ([tree.node_weight(u) for u in cover], entries)
-            self.plan_cache.put((lo, hi), plan)
-        return plan
+        tree = self._tree
+        cover = list(hint) if hint is not None else tree.canonical_nodes_for_span(lo, hi)
+        entries = []
+        spans = []
+        for node in cover:
+            node_lo, node_hi = tree.leaf_span(node)
+            spans.append((node_lo, node_hi))
+            tables = None if tree.is_leaf(node) else self._node_table(node)
+            entries.append((node, node_lo, tables))
+        cover_weights = [tree.node_weight(u) for u in cover]
+        return QueryPlan(
+            self.plan_kind,
+            (lo, hi),
+            spans=tuple(spans),
+            weights=tuple(cover_weights),
+            payload=(cover_weights, entries),
+            hint=tuple(cover),
+        )
 
     def sample_span(
         self, lo: int, hi: int, s: int, rng: RNGLike = None
@@ -487,12 +589,17 @@ class AliasAugmentedRangeSampler(RangeSamplerBase):
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
+        return self.execute_plan(self.plan_span(lo, hi), s, rng=rng)
+
+    def execute_plan(
+        self, plan: QueryPlan, s: int, rng: RNGLike = None
+    ) -> List[int]:
         rng = self._rng if rng is None else rng
         enabled = obs.ENABLED
         if enabled:
             _L2_QUERIES.inc()
             _L2_DRAWS.add(s)
-        cover_weights, entries = self._cover_plan(lo, hi)
+        cover_weights, entries = plan.payload
         counts = multinomial_split(cover_weights, s, rng)
         batched = kernels.use_batch(s)
         gen = kernels.batch_generator(rng) if batched else None
@@ -558,6 +665,8 @@ class ChunkedRangeSampler(RangeSamplerBase):
     through ``T_chunk``.
     """
 
+    plan_kind = "chunked"
+
     def __init__(
         self,
         keys: Sequence[float],
@@ -612,7 +721,7 @@ class ChunkedRangeSampler(RangeSamplerBase):
         self._t_chunk = AliasAugmentedRangeSampler(
             list(range(g)), chunk_weights, rng=self._rng
         )
-        self.plan_cache = QueryPlanCache(plan_cache_size)
+        self.plan_cache = plan_scope(self.plan_kind, plan_cache_size)
 
     # ------------------------------------------------------------------
 
@@ -762,30 +871,45 @@ class ChunkedRangeSampler(RangeSamplerBase):
         picks = np.where(keep, urns, alias_mat[chunks, urns])
         return (starts[chunks] + picks).tolist()
 
-    def _span_plan(self, lo: int, hi: int):
-        """The memoized Figure-2 plan for ``[lo, hi)``: a list of
+    def _build_plan(self, lo: int, hi: int, hint: Any = None) -> QueryPlan:
+        """The Figure-2 plan for ``[lo, hi)``: the payload is a list of
         ``(kind, p_lo, p_hi, weight, partial_tables)`` parts.
 
         Plan construction (split, part weights, partial-chunk alias
         tables) consumes no randomness, so a cache hit changes nothing
         about the query's output distribution — it only skips the
-        O(log n) setup work on repeated spans.
+        O(log n) setup work on repeated spans. The hint carries the
+        non-empty part ranges; part weights and the partial-chunk alias
+        tables are resolved locally from them (the tables are views into
+        this instance, not shippable data).
         """
-        plan = self.plan_cache.get((lo, hi))
-        if plan is None:
+        if hint is not None:
+            ranges = list(hint)
+        else:
             (h_lo, h_hi), (m_lo, m_hi), (t_lo, t_hi) = self.query_split(lo, hi)
-            plan = []
+            ranges = []
             if h_hi > h_lo:
-                weight = sum(self.weights[h_lo:h_hi])
-                plan.append(("head", h_lo, h_hi, weight, self._partial_plan(h_lo, h_hi)))
+                ranges.append(("head", h_lo, h_hi))
             if m_hi > m_lo:
-                weight = self._chunk_sums.range_sum(m_lo, m_hi)
-                plan.append(("mid", m_lo, m_hi, weight, None))
+                ranges.append(("mid", m_lo, m_hi))
             if t_hi > t_lo:
-                weight = sum(self.weights[t_lo:t_hi])
-                plan.append(("tail", t_lo, t_hi, weight, self._partial_plan(t_lo, t_hi)))
-            self.plan_cache.put((lo, hi), plan)
-        return plan
+                ranges.append(("tail", t_lo, t_hi))
+        parts = []
+        for kind, p_lo, p_hi in ranges:
+            if kind == "mid":
+                weight = self._chunk_sums.range_sum(p_lo, p_hi)
+                parts.append(("mid", p_lo, p_hi, weight, None))
+            else:
+                weight = sum(self.weights[p_lo:p_hi])
+                parts.append((kind, p_lo, p_hi, weight, self._partial_plan(p_lo, p_hi)))
+        return QueryPlan(
+            self.plan_kind,
+            (lo, hi),
+            spans=tuple((p_lo, p_hi) for _, p_lo, p_hi, _, _ in parts),
+            weights=tuple(weight for _, _, _, weight, _ in parts),
+            payload=parts,
+            hint=tuple((kind, p_lo, p_hi) for kind, p_lo, p_hi, _, _ in parts),
+        )
 
     def sample_span(
         self, lo: int, hi: int, s: int, rng: RNGLike = None
@@ -793,11 +917,16 @@ class ChunkedRangeSampler(RangeSamplerBase):
         validate_sample_size(s)
         if lo >= hi:
             raise EmptyQueryError("empty index range")
+        return self.execute_plan(self.plan_span(lo, hi), s, rng=rng)
+
+    def execute_plan(
+        self, plan: QueryPlan, s: int, rng: RNGLike = None
+    ) -> List[int]:
         if obs.ENABLED:
             _CH_QUERIES.inc()
             _CH_DRAWS.add(s)
         rng = self._rng if rng is None else rng
-        parts = self._span_plan(lo, hi)
+        parts = plan.payload
 
         if len(parts) == 1:
             kind, p_lo, p_hi, _, tables = parts[0]

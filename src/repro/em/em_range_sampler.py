@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro import obs
 from repro.core.alias import alias_draw, build_alias_tables
+from repro.core.planner import QueryPlan
 from repro.core.schemes import multinomial_split
 from repro.em.btree import Ref, StaticBTree
 from repro.em.model import EMMachine
@@ -61,6 +62,8 @@ class EMRangeSampler(RangeQueryMixin):
         "sample": EngineOp("query", takes_s=True, pass_rng=False),
     }
     engine_thread_safe = False
+
+    plan_kind = "em"
 
     @classmethod
     def build(
@@ -191,14 +194,54 @@ class EMRangeSampler(RangeQueryMixin):
     # queries
     # ------------------------------------------------------------------
 
+    def plan_range(self, x: float, y: float) -> QueryPlan:
+        """The §8 plan for ``[x, y]`` — built per query, never cached.
+
+        Planning here *is* the I/O-charged part of the query: the
+        canonical-unit decomposition touches root-to-leaf paths and
+        charges block I/Os to the simulated machine. Caching plans would
+        skip those charges and falsify the EM cost model the structure
+        exists to reproduce, so the EM path deliberately opts out of the
+        plan store (it still gets the plan → execute split: planning
+        consumes no randomness, execution spends all of it).
+        """
+        units = self.tree.canonical_units_weighted(x, y)
+        return QueryPlan(
+            self.plan_kind,
+            (x, y),
+            spans=tuple((lo, hi) for _, lo, hi, _ in units),
+            weights=tuple(weight for _, _, _, weight in units),
+            payload=units,
+        )
+
+    def plan_request(self, request) -> QueryPlan:
+        """Plan an engine request without executing draws (--explain).
+
+        Note that EM planning charges block I/Os (see
+        :meth:`plan_range`), so explain is not free here — exactly as
+        the paper's cost model says a query decomposition cannot be.
+        """
+        self.validate_request(request)
+        x, y = request.args
+        plan = self.plan_range(x, y)
+        if not plan.payload:
+            raise EmptyQueryError(f"no values in [{x}, {y}]")
+        return plan
+
     def query(self, x: float, y: float, s: int) -> List[float]:
         """``s`` independent (weighted) samples of ``S ∩ [x, y]``."""
         validate_sample_size(s)
         if obs.ENABLED:
             _EM_QUERIES.inc()
-        units = self.tree.canonical_units_weighted(x, y)
-        if not units:
+        plan = self.plan_range(x, y)
+        if not plan.payload:
             raise EmptyQueryError(f"no values in [{x}, {y}]")
+        return self.execute_plan(plan, s)
+
+    def execute_plan(self, plan: QueryPlan, s: int) -> List[float]:
+        """Draw ``s`` samples from a plan (all randomness spent here;
+        consumes and refills the sample pools)."""
+        units = plan.payload
         allocation = multinomial_split([weight for _, _, _, weight in units], s, self._rng)
         rng = self._rng
         result: List[float] = []

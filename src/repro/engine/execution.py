@@ -74,7 +74,11 @@ class SerialShardRunner(ShardRunner):
     def run_plan(self, sharded: Any, plan: PlacementPlan) -> Partials:
         from repro.engine.shard import run_shard_task
 
-        return [run_shard_task(sharded.shards, task) for task in plan.tasks]
+        plans = plan.plans or (None,) * len(plan.tasks)
+        return [
+            run_shard_task(sharded.shards, task, sub)
+            for task, sub in zip(plan.tasks, plans)
+        ]
 
 
 class ThreadShardRunner(ShardRunner):
@@ -171,15 +175,35 @@ class ProcessShardRunner(ShardRunner):
         pending: List[Tuple[Any, int, Any]] = []
         crash: Optional[WorkerCrashedError] = None
         failure: Optional[Exception] = None
-        for task in plan.tasks:
+        plans = plan.plans or (None,) * len(plan.tasks)
+        for task, sub in zip(plan.tasks, plans):
             key, token = self._token_for(task.shard)
             slot, pool = self._pool_for(task.shard)
+            # Ship the parent's shard-local plan as portable data (kind,
+            # key, cover hint) — O(log n) ints — so the resident worker
+            # skips the cover search and executes the very same plan.
+            portable = (
+                sub.portable()
+                if sub is not None and getattr(sub, "hint", None) is not None
+                else None
+            )
+            draw = [
+                (
+                    task.shard,
+                    task.lo,
+                    task.hi,
+                    task.quota,
+                    task.seed,
+                    trace,
+                    portable,
+                )
+            ]
             try:
                 future = pool.submit(
                     execute_shard_chunk,
                     key,
                     token,
-                    [(task.shard, task.lo, task.hi, task.quota, task.seed, trace)],
+                    draw,
                     harvest=enabled,
                 )
             except BrokenExecutor:

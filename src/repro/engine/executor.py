@@ -400,6 +400,65 @@ class SamplingEngine:
                 return self._dispatch_process(key, token, jobs, spec)
         return self._dispatch_process(key, token, jobs, spec)
 
+    def explain(
+        self, sampler: Sampler, request: QueryRequest
+    ) -> Dict[str, Any]:
+        """Plan ``request`` without executing any draws.
+
+        Runs the planning half of the plan → execute split against the
+        placement's view of ``sampler`` (so under the sharded placement
+        the result describes the fan-out plan, sub-plans included) and
+        reports it as plain data: the plan's cover spans and weights,
+        whether it came out of the plan store (``"cached"``) or was
+        built cold, and — for sharded plans — the deterministic expected
+        budget split ``s · w_j / W`` per shard. Planning consumes no
+        randomness, so explaining a request leaves every seeded stream
+        untouched (the plan store does warm up, exactly as a real
+        request would warm it).
+
+        Raises :class:`TypeError` for structures with no planning
+        surface and :class:`NotImplementedError` for range samplers
+        that opt out of the plan layer.
+        """
+        view = self._placement.view(sampler, self)
+        planner = getattr(view, "plan_request", None)
+        if planner is None:
+            raise TypeError(
+                f"{type(sampler).__name__} has no query-planning surface "
+                f"(no plan_request); --explain needs a planful structure"
+            )
+        scope = getattr(view, "plan_cache", None)
+        misses_before = scope.misses if scope is not None else None
+        plan = planner(request)
+        info = plan.describe()
+        info["cached"] = (
+            scope is not None and scope.misses == misses_before
+        )
+        info["placement"] = self.placement
+        if getattr(view, "plan_kind", None) == "sharded":
+            active, sub_plans = plan.payload
+            total = sum(weight for _, _, _, weight in active)
+            info["budget_split"] = [
+                {
+                    "shard": j,
+                    "span": (a, b),
+                    "weight": weight,
+                    "expected_quota": (
+                        request.s * weight / total if total > 0 else 0.0
+                    ),
+                }
+                for j, a, b, weight in active
+            ]
+            info["sub_plans"] = (
+                [
+                    sub.describe() if sub is not None else None
+                    for sub in sub_plans
+                ]
+                if sub_plans is not None
+                else None
+            )
+        return info
+
     # ------------------------------------------------------------------
 
     def _dispatch(

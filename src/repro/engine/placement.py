@@ -152,7 +152,10 @@ def shard_seed(base: int, shard: int) -> int:
 
 
 def plan_fan_out(
-    active: Sequence[Tuple[int, int, int, float]], s: int, base: int
+    active: Sequence[Tuple[int, int, int, float]],
+    s: int,
+    base: int,
+    sub_plans: Optional[Sequence[Any]] = None,
 ) -> PlacementPlan:
     """The §4.1 plan for one request over its active-shard table.
 
@@ -162,22 +165,37 @@ def plan_fan_out(
     the budget splits multinomially by weight and zero-quota shards are
     dropped. Every task carries its derived shard seed, so the plan is
     executable by any backend without further randomness decisions.
+
+    ``sub_plans`` optionally aligns one shard-local
+    :class:`~repro.core.planner.QueryPlan` (or ``None``) with each
+    ``active`` row — the parent's plan-once-ship-everywhere payload.
+    Entries for dropped zero-quota shards are dropped with their tasks,
+    keeping ``plan.plans`` aligned with ``plan.tasks``.
     """
     if len(active) == 1:
         j, lo, hi, _ = active[0]
         tasks: Tuple[ShardTask, ...] = (
             ShardTask(j, lo, hi, s, shard_seed(base, j)),
         )
+        plans: Tuple[Any, ...] = (
+            (sub_plans[0],) if sub_plans is not None else ()
+        )
     else:
         counts = split_budget([row[3] for row in active], s, base)
-        tasks = tuple(
-            ShardTask(j, lo, hi, quota, shard_seed(base, j))
-            for (j, lo, hi, _), quota in zip(active, counts)
+        kept = [
+            (index, ShardTask(j, lo, hi, quota, shard_seed(base, j)))
+            for index, ((j, lo, hi, _), quota) in enumerate(zip(active, counts))
             if quota > 0
+        ]
+        tasks = tuple(task for _, task in kept)
+        plans = (
+            tuple(sub_plans[index] for index, _ in kept)
+            if sub_plans is not None
+            else ()
         )
     if obs.ENABLED:
         _PLACEMENT_SHARDS.add(len(tasks))
-    return PlacementPlan(base=base, tasks=tasks)
+    return PlacementPlan(base=base, tasks=tasks, plans=plans)
 
 
 def merge_indices(

@@ -183,10 +183,20 @@ class PlacementPlan:
     therefore the merged output — is a pure function of
     ``(structure, request seed, K)`` no matter which execution backend
     runs the tasks or in which order they finish.
+
+    ``plans`` optionally aligns a per-task shard-local
+    :class:`~repro.core.planner.QueryPlan` (or ``None``) with ``tasks``:
+    the parent plans each shard's cover once and ships it, so executing
+    a task never recomputes the cover — inline and thread runners pass
+    the plan object straight to the shard's ``execute_plan``, the
+    process runner ships its :meth:`~repro.core.planner.QueryPlan.portable`
+    form. Empty means "no shard plans" (non-planful shard structures);
+    execution falls back to the shards' own ``sample_span``.
     """
 
     base: int
     tasks: Tuple[ShardTask, ...]
+    plans: Tuple[Any, ...] = ()
 
     @property
     def shards(self) -> Tuple[int, ...]:

@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core import kernels
+from repro.core.planner import QueryPlan, plan_scope
 from repro.core.range_sampler import RangeSamplerBase
 from repro.engine.placement import merge_indices, plan_fan_out
 from repro.engine.protocol import PlacementPlan, ShardTask
@@ -59,9 +60,19 @@ _SHARDS = obs.counter(
     "engine.shards",
     "Shard sub-queries fanned out by sharded range execution",
 )
+_PLAN_BUILDS = obs.counter(
+    "engine.plan_builds",
+    "Sharded fan-out plans built (one cover computation per build)",
+)
+_PLAN_REUSE = obs.counter(
+    "engine.plan_reuse",
+    "Sharded fan-out plans served from the plan store (no cover work)",
+)
 
 
-def run_shard_task(shards: Sequence[Any], task: ShardTask) -> Tuple[int, List[int]]:
+def run_shard_task(
+    shards: Sequence[Any], task: ShardTask, plan: Any = None
+) -> Tuple[int, List[int]]:
     """Execute one :class:`~repro.engine.protocol.ShardTask` locally.
 
     The single point where a plan task turns into draws: shard
@@ -69,10 +80,19 @@ def run_shard_task(shards: Sequence[Any], task: ShardTask) -> Tuple[int, List[in
     stream. Every execution backend — inline, thread pool, resident
     worker process — funnels through this function (or its worker-side
     twin), which is what makes the backends byte-identical.
+
+    ``plan`` optionally carries the shard-local
+    :class:`~repro.core.planner.QueryPlan` the parent already built —
+    then execution goes straight to the shard's ``execute_plan`` and no
+    cover is recomputed (byte-identical: ``sample_span`` *is*
+    ``plan_span`` + ``execute_plan``, and planning consumes no
+    randomness).
     """
-    return task.shard, shards[task.shard].sample_span(
-        task.lo, task.hi, task.quota, rng=ensure_rng(task.seed)
-    )
+    shard = shards[task.shard]
+    rng = ensure_rng(task.seed)
+    if plan is not None:
+        return task.shard, shard.execute_plan(plan, task.quota, rng=rng)
+    return task.shard, shard.sample_span(task.lo, task.hi, task.quota, rng=rng)
 
 
 def shard_bounds(n: int, num_shards: int) -> List[int]:
@@ -96,6 +116,8 @@ class ShardedSampler(RangeSamplerBase):
     two array reads.
     """
 
+    plan_kind = "sharded"
+
     def __init__(
         self,
         shards: Sequence[Any],
@@ -103,6 +125,7 @@ class ShardedSampler(RangeSamplerBase):
         weights: Optional[Sequence[float]] = None,
         rng: RNGLike = None,
         max_workers: Optional[int] = None,
+        plan_cache_size: Optional[int] = None,
     ):
         super().__init__(keys, weights)
         if not shards:
@@ -135,6 +158,7 @@ class ShardedSampler(RangeSamplerBase):
         self._max_workers = max(1, min(len(self.shards), workers))
         self._pool: Optional[ThreadPoolExecutor] = None
         self._runner: Optional[Any] = None
+        self.plan_cache = plan_scope(self.plan_kind, plan_cache_size)
 
     # -- construction ------------------------------------------------------
 
@@ -309,16 +333,60 @@ class ShardedSampler(RangeSamplerBase):
         with obs.span("engine.shard_fanout", s=s) as fanout_span:
             return self._fan_out(lo, hi, s, rng, fanout_span)
 
+    def _build_plan(self, lo: int, hi: int, hint: Any = None) -> QueryPlan:
+        """Plan once: active-shard table plus each shard's own sub-plan.
+
+        The single cover computation of a sharded request. Each planful
+        shard contributes its shard-local
+        :class:`~repro.core.planner.QueryPlan` for its sub-span, built
+        through the shard's *own* plan scope — so the plan store sees
+        exactly one cover walk per distinct span, parent and shards
+        alike. Unplanful shards (no ``plan_kind``) get ``None`` and fall
+        back to ``sample_span`` at execution.
+        """
+        active = self._active_shards(lo, hi)
+        sub_plans: List[Any] = []
+        planful = False
+        for j, a, b, _ in active:
+            shard = self.shards[j]
+            if getattr(shard, "plan_kind", None) is not None:
+                sub_plans.append(shard.plan_span(a, b))
+                planful = True
+            else:
+                sub_plans.append(None)
+        return QueryPlan(
+            self.plan_kind,
+            (lo, hi),
+            spans=tuple((a, b) for _, a, b, _ in active),
+            weights=tuple(weight for _, _, _, weight in active),
+            payload=(active, tuple(sub_plans) if planful else None),
+        )
+
     def _fan_out(
         self, lo: int, hi: int, s: int, rng: RNGLike = None, span: Any = None
     ) -> List[int]:
         generator = ensure_rng(rng) if rng is not None else self._rng
         # One stateless base per request: the split and every shard
         # stream derive from it, so concurrency cannot reorder
-        # randomness consumption.
+        # randomness consumption. Drawn *before* planning (which
+        # consumes no randomness) to match the pre-plan-layer stream
+        # order bit-for-bit.
         base = generator.getrandbits(64)
-        active = self._active_shards(lo, hi)
-        if obs.ENABLED:
+        enabled = obs.ENABLED
+        plan = self.plan_cache.get((lo, hi))
+        if plan is None:
+            if enabled:
+                with obs.span("plan.build", kind=self.plan_kind, span=hi - lo):
+                    plan = self._build_plan(lo, hi)
+            else:
+                plan = self._build_plan(lo, hi)
+            self.plan_cache.put((lo, hi), plan)
+            if enabled:
+                _PLAN_BUILDS.inc()
+        elif enabled:
+            _PLAN_REUSE.inc()
+        active, sub_plans = plan.payload
+        if enabled:
             _SHARDS.add(len(active))
             if span is not None:
                 span.set(shards=len(active))
@@ -327,19 +395,26 @@ class ShardedSampler(RangeSamplerBase):
                 f"no keys in index span [{lo}, {hi}) across "
                 f"{self.num_shards} shards"
             )
-        plan = plan_fan_out(active, s, base)
+        placement_plan = plan_fan_out(active, s, base, sub_plans=sub_plans)
         if self._runner is not None:
-            partials = self._runner.run_plan(self, plan)
+            partials = self._runner.run_plan(self, placement_plan)
         else:
-            partials = self._run_plan_threaded(plan)
+            partials = self._run_plan_threaded(placement_plan)
         return merge_indices(partials, self._bounds)
 
     def _run_plan_threaded(self, plan: PlacementPlan) -> List[Tuple[int, List[int]]]:
         """Default execution: fan the plan out over this wrapper's pool."""
         tasks = plan.tasks
+        plans = plan.plans or (None,) * len(tasks)
         pool = self._shard_pool() if len(tasks) > 1 else None
         if pool is not None:
             return list(
-                pool.map(lambda task: run_shard_task(self.shards, task), tasks)
+                pool.map(
+                    lambda pair: run_shard_task(self.shards, pair[0], pair[1]),
+                    zip(tasks, plans),
+                )
             )
-        return [run_shard_task(self.shards, task) for task in tasks]
+        return [
+            run_shard_task(self.shards, task, sub)
+            for task, sub in zip(tasks, plans)
+        ]

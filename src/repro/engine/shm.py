@@ -322,14 +322,14 @@ def _export_range_common(sampler: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
 
 
 def _attach_range_common(sampler: Any, arrays: Dict[str, Any], meta: Dict[str, Any]) -> None:
-    from repro.core.plan_cache import QueryPlanCache
+    from repro.core.planner import plan_scope
 
     sampler.keys = _SharedSeq(arrays["keys"])
     sampler.weights = arrays["weights"]
     sampler._all_weights_equal = meta["all_weights_equal"]
     sampler._tree = _attach_tree(arrays, meta, arrays["keys"], arrays["weights"])
     sampler._rng = ensure_rng(meta["rng_seed"])
-    sampler.plan_cache = QueryPlanCache(meta["plan_cache_size"])
+    sampler.plan_cache = plan_scope(sampler.plan_kind, meta["plan_cache_size"])
 
 
 def _export_treewalk(sampler: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
@@ -462,7 +462,7 @@ def _export_chunked(sampler: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
 
 
 def _attach_chunked(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Any:
-    from repro.core.plan_cache import QueryPlanCache
+    from repro.core.planner import plan_scope
     from repro.core.range_sampler import ChunkedRangeSampler
     from repro.substrates.fenwick import FenwickTree
 
@@ -489,7 +489,7 @@ def _attach_chunked(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Any:
     fenwick._size = meta["num_chunks"]
     sampler._chunk_sums = fenwick
     sampler._t_chunk = _attach_lemma2(*_sub_manifest(arrays, meta, "tchunk.", "tchunk"))
-    sampler.plan_cache = QueryPlanCache(meta["plan_cache_size"])
+    sampler.plan_cache = plan_scope(sampler.plan_kind, meta["plan_cache_size"])
     return sampler
 
 
@@ -517,6 +517,7 @@ def _export_coverage(sampler: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
     meta = {
         "backend": sampler._backend,
         "level_bounds": [tuple(b) for b in tree.level_bounds()],
+        "plan_cache_size": sampler.plan_cache.capacity,
     }
     if sampler._chunked is not None:
         c_arrays, c_meta = _export_chunked(sampler._chunked)
@@ -527,6 +528,7 @@ def _export_coverage(sampler: Any) -> Tuple[Dict[str, Any], Dict[str, Any]]:
 
 def _attach_coverage(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Any:
     from repro.core.coverage import BSTIndex, CoverageSampler
+    from repro.core.planner import plan_scope
 
     index = object.__new__(BSTIndex)
     index._tree = _attach_tree(
@@ -544,6 +546,9 @@ def _attach_coverage(arrays: Dict[str, Any], meta: Dict[str, Any]) -> Any:
         sampler._chunked = _attach_chunked(
             *_sub_manifest(arrays, meta, "cov.", "chunked")
         )
+    sampler.plan_cache = plan_scope(
+        sampler.plan_kind, meta.get("plan_cache_size")
+    )
     return sampler
 
 

@@ -189,21 +189,28 @@ def execute_chunk(
 def execute_shard_chunk(
     key: bytes,
     token: Tuple[Any, ...],
-    draws: List[Tuple[int, int, int, int, int, Optional[str]]],
+    draws: List[Tuple[Any, ...]],
     harvest: bool = False,
 ) -> Tuple[int, List[Tuple[str, Any]], Optional[dict]]:
     """Execute shard sub-draws on this worker's resident shard.
 
     ``draws`` entries are ``(shard, lo, hi, quota, seed, trace_id)`` —
     one :class:`~repro.engine.protocol.ShardTask` each, plus the owning
-    request's trace for harvest tagging. All entries must target the
-    shard this worker's ``token`` rebuilds (the parent routes one shard
-    per resident worker). Returns ``(rebuilds, outcomes, delta)`` where
-    each outcome is ``("ok", local_indices)`` or ``("err", exception)``
-    — failures are captured per sub-draw so one bad span cannot poison
-    the shard's batchmates. With ``harvest`` on, each sub-draw lands in
-    the flight recorder tagged with its shard id (``spec`` suffix
-    ``#s<j>``), so per-shard timelines fall out of the normal obs tail.
+    request's trace for harvest tagging — optionally extended with a
+    seventh *portable plan* element, ``(kind, key, hint)`` from
+    :meth:`~repro.core.planner.QueryPlan.portable`. When present (and
+    the resident shard is planful), the worker rebuilds the parent's
+    shard-local plan from the cover hint — skipping the cover search —
+    and executes it; planning consumes no randomness, so the draws stay
+    byte-identical to the ``sample_span`` path. All entries must target
+    the shard this worker's ``token`` rebuilds (the parent routes one
+    shard per resident worker). Returns ``(rebuilds, outcomes, delta)``
+    where each outcome is ``("ok", local_indices)`` or
+    ``("err", exception)`` — failures are captured per sub-draw so one
+    bad span cannot poison the shard's batchmates. With ``harvest`` on,
+    each sub-draw lands in the flight recorder tagged with its shard id
+    (``spec`` suffix ``#s<j>``), so per-shard timelines fall out of the
+    normal obs tail.
     """
     base: Optional[dict] = None
     if harvest:
@@ -214,7 +221,9 @@ def execute_shard_chunk(
     rebuilds = 0
     sampler = _RESIDENT.get(key)
     outcomes: List[Tuple[str, Any]] = []
-    for shard, lo, hi, quota, seed, trace_id in draws:
+    for entry in draws:
+        shard, lo, hi, quota, seed, trace_id = entry[:6]
+        portable = entry[6] if len(entry) > 6 else None
         trace_token = obs.set_current_trace(trace_id) if harvest else None
         started = time.perf_counter()
         error: Optional[Exception] = None
@@ -225,7 +234,15 @@ def execute_shard_chunk(
                 _RESIDENT[key] = sampler
                 rebuilds = 1
             with obs.span("worker.shard_draw", s=quota, shard=shard):
-                local = sampler.sample_span(lo, hi, quota, rng=ensure_rng(seed))
+                if portable is not None and getattr(sampler, "plan_kind", None):
+                    plan = sampler.plan_span(lo, hi, portable=portable)
+                    local = sampler.execute_plan(
+                        plan, quota, rng=ensure_rng(seed)
+                    )
+                else:
+                    local = sampler.sample_span(
+                        lo, hi, quota, rng=ensure_rng(seed)
+                    )
             outcomes.append(("ok", local))
         except Exception as exc:
             error = _picklable_error(exc)

@@ -108,6 +108,31 @@ class TestEngineRun:
         assert completed.returncode == 2
         assert "--backend process" in completed.stderr
 
+    def test_explain_prints_plan_without_draws(self):
+        completed = run_cli("engine", "run", "range.treewalk", "--explain")
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "kind=treewalk" in completed.stdout
+        assert "canonical span(s)" in completed.stdout
+        assert "built cold" in completed.stdout
+        assert "none executed" in completed.stdout
+        assert "values=" not in completed.stdout
+
+    def test_explain_sharded_prints_budget_split(self):
+        completed = run_cli(
+            "engine", "run", "range.chunked",
+            "--placement", "sharded", "--shards", "4", "--s", "16",
+            "--explain",
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert "kind=sharded" in completed.stdout
+        assert "expected quota=" in completed.stdout
+        assert "active shard(s)" in completed.stdout
+
+    def test_explain_rejects_unplanful_spec(self):
+        completed = run_cli("engine", "run", "setunion", "--explain")
+        assert completed.returncode == 2
+        assert "plan" in completed.stderr
+
 
 class TestObsCli:
     def test_dump_table_reports_engine_and_quantiles(self):
